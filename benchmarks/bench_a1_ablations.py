@@ -1,0 +1,106 @@
+"""A1 — ablations of the Figure-1 design choices.
+
+Three load-bearing decisions in the paper's algorithm, each toggled and
+measured:
+
+1. **COMMIT wait (line 8)** — removing it (EagerCRW) breaks agreement
+   under data-step crashes (counted over an adversary sweep);
+2. **decreasing COMMIT order (line 5)** — reversing it keeps safety but
+   breaks the f+1 early-stopping bound (worst observed round excess);
+3. **higher-ids-only addressing (line 4)** — broadcasting to everyone
+   keeps everything but wastes messages (counted).
+"""
+
+from __future__ import annotations
+
+from repro.core.crw import CRWConsensus
+from repro.core.variants import EagerCRW, FullBroadcastCRW, IncreasingCommitCRW
+from repro.sync.adversary import CommitSplitter, CoordinatorKiller, RandomCrashes
+from repro.sync.extended import ExtendedSynchronousEngine
+from repro.sync.spec import check_consensus
+from repro.util.rng import RandomSource
+from repro.util.tables import Table
+
+
+def sweep(cls, adversary, n=6, seeds=30):
+    """Run one variant over an adversary sweep; return aggregate stats."""
+    violations = 0
+    worst_excess = 0
+    total_msgs = 0
+    for seed in range(seeds):
+        rng = RandomSource(seed)
+        f = rng.randint(0, n - 2)
+        schedule = adversary(f).schedule(n, n - 1, rng)
+        procs = [cls(pid, n, 100 + pid) for pid in range(1, n + 1)]
+        result = ExtendedSynchronousEngine(
+            procs, schedule, t=n - 1, rng=rng, trace=False
+        ).run()
+        report = check_consensus(result, require_early_stopping=True)
+        if any("agreement" in v for v in report.violations):
+            violations += 1
+        if result.decisions:
+            worst_excess = max(
+                worst_excess, result.last_decision_round - (result.f + 1)
+            )
+        total_msgs += result.stats.messages_sent
+    return violations, worst_excess, total_msgs / seeds
+
+
+def run_ablation_table():
+    table = Table(
+        ["variant", "adversary", "agreement violations", "worst round excess", "mean msgs"],
+        title="A1: Figure-1 design ablations (n=6, 30 seeds)",
+    )
+    cells = {}
+    for name, cls in (
+        ("paper", CRWConsensus),
+        ("no-commit-wait", EagerCRW),
+        ("increasing-commit", IncreasingCommitCRW),
+        ("full-broadcast", FullBroadcastCRW),
+    ):
+        for adv_name, adv in (
+            ("coordinator-killer-subset", lambda f: CoordinatorKiller(f, deliver_to_none=False)),
+            ("commit-splitter", lambda f: CommitSplitter(f, prefix_len=None)),
+            ("random", lambda f: RandomCrashes(f)),
+        ):
+            cell = sweep(cls, adv, n=6, seeds=30)
+            cells[(name, adv_name)] = cell
+            table.add_row(name, adv_name, *cell)
+    return table, cells
+
+
+def test_a1_ablations(benchmark, capsys):
+    table, cells = benchmark.pedantic(run_ablation_table, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table.to_ascii())
+
+    # The paper's variant is clean everywhere.
+    for adv in ("coordinator-killer-subset", "commit-splitter", "random"):
+        violations, excess, _ = cells[("paper", adv)]
+        assert violations == 0 and excess <= 0
+
+    # Dropping the COMMIT wait breaks agreement under partial data delivery.
+    assert any(
+        cells[("no-commit-wait", adv)][0] > 0
+        for adv in ("coordinator-killer-subset", "random")
+    )
+
+    # Reversing the commit order never breaks agreement but exceeds f+1.
+    assert all(
+        cells[("increasing-commit", adv)][0] == 0
+        for adv in ("coordinator-killer-subset", "commit-splitter", "random")
+    )
+    assert any(
+        cells[("increasing-commit", adv)][1] > 0
+        for adv in ("commit-splitter", "random")
+    )
+
+    # Full broadcast: correct, just chattier than the paper under cascades.
+    for adv in ("coordinator-killer-subset", "commit-splitter", "random"):
+        violations, excess, _ = cells[("full-broadcast", adv)]
+        assert violations == 0 and excess <= 0
+    assert (
+        cells[("full-broadcast", "coordinator-killer-subset")][2]
+        >= cells[("paper", "coordinator-killer-subset")][2]
+    )

@@ -1,0 +1,31 @@
+"""E2 — Theorem 2: bit complexity vs the closed forms."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import e2_bits
+from repro.harness.runner import RunConfig, run_once
+
+
+def test_e2_report(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: e2_bits(n_values=(4, 8, 16, 32), bit_widths=(8, 64, 1024)),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert result.findings["best_case_matches_formula_exactly"] is True
+    assert result.findings["worst_case_within_paper_bound"] is True
+
+
+def test_e2_kernel_best_case_wide_values(benchmark):
+    config = RunConfig("crw", 32, 31, 0, "none", seed=0, value_bits=1024)
+    result = benchmark(run_once, config)
+    # (n-1)(|v|+1) exactly.
+    assert result.stats.bits_sent == 31 * 1025
+
+
+def test_e2_kernel_worst_case_traffic(benchmark):
+    config = RunConfig("crw", 32, 31, 31, "max-traffic", seed=0, value_bits=64)
+    result = benchmark(run_once, config)
+    bound = sum(32 - r for r in range(1, 33)) * 65
+    assert result.stats.bits_sent <= bound

@@ -1,0 +1,36 @@
+"""E4 — Theorems 3-5: certificates, exhaustive search, ablation."""
+
+from __future__ import annotations
+
+from repro.core.crw import CRWConsensus
+from repro.harness.experiments import e4_lowerbound
+from repro.lowerbound.explorer import ExplorationConfig, Explorer
+
+
+def test_e4_report(benchmark, report):
+    result = benchmark.pedantic(e4_lowerbound, rounds=1, iterations=1)
+    report(result)
+    assert all(v is True for v in result.findings.values()), result.findings
+
+
+def test_e4_kernel_exhaustive_n4_t2(benchmark):
+    def kernel():
+        return Explorer(
+            lambda: {pid: CRWConsensus(pid, 4, pid) for pid in range(1, 5)},
+            ExplorationConfig(max_crashes=2, max_crashes_per_round=2, max_rounds=4),
+        ).explore()
+
+    explored = benchmark(kernel)
+    assert explored.ok and explored.early_stopping_holds
+
+
+def test_e4_kernel_exhaustive_n5_one_per_round(benchmark):
+    def kernel():
+        return Explorer(
+            lambda: {pid: CRWConsensus(pid, 5, pid) for pid in range(1, 6)},
+            ExplorationConfig(max_crashes=3, max_crashes_per_round=1, max_rounds=5),
+        ).explore()
+
+    explored = benchmark(kernel)
+    assert explored.ok
+    assert explored.worst_last_decision_round == 4  # f+1 with f=3

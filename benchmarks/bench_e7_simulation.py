@@ -1,0 +1,34 @@
+"""E7 — Section 2.2: cost of simulating the extended model classically."""
+
+from __future__ import annotations
+
+from repro.core.crw import CRWConsensus
+from repro.harness.experiments import e7_simulation
+from repro.simulation.extended_on_classic import run_extended_on_classic
+from repro.sync.crash import CrashSchedule
+from repro.lowerbound.certificates import worst_case_schedule
+
+
+def test_e7_report(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: e7_simulation(n_values=(4, 8), f_values=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert result.findings["simulated_runs_uniform"] is True
+
+
+def test_e7_kernel_adapter_run(benchmark):
+    n, f = 8, 2
+
+    def kernel():
+        return run_extended_on_classic(
+            lambda: [CRWConsensus(pid, n, 100 + pid) for pid in range(1, n + 1)],
+            worst_case_schedule(f),
+            t=n - 1,
+        )
+
+    result = benchmark(kernel)
+    # (f+1) blocks of n classic rounds each.
+    assert result.last_decision_round == (f + 1) * n

@@ -1,0 +1,41 @@
+"""E8 — engine scaling and replicated-log throughput."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import e8_scaling
+from repro.harness.runner import RunConfig, run_once
+from repro.rsm.log import ReplicatedLog
+from repro.rsm.machine import Command, KVStore
+from repro.util.rng import RandomSource
+
+
+def test_e8_report(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: e8_scaling(n_values=(8, 16, 32, 64), slots=20),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+
+
+def test_e8_kernel_crw_n64(benchmark):
+    config = RunConfig("crw", 64, 63, 0, "none", seed=0)
+    result = benchmark(run_once, config)
+    assert result.rounds_executed == 1
+
+
+def test_e8_kernel_crw_n128_cascade(benchmark):
+    config = RunConfig("crw", 128, 127, 16, "coordinator-killer", seed=0)
+    result = benchmark(run_once, config)
+    assert result.last_decision_round == 17
+
+
+def test_e8_kernel_rsm_slots(benchmark):
+    def kernel():
+        log = ReplicatedLog(16, KVStore, rng=RandomSource(1))
+        for s in range(10):
+            log.commit({1: Command(1, f"set k{s} v{s}")})
+        return log
+
+    log = benchmark(kernel)
+    assert log.check_invariants() == []

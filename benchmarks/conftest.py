@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_eN_*.py`` regenerates one experiment of DESIGN.md §4 and
+prints its table(s) through the capture bypass so they land in
+``bench_output.txt`` alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentResult through the capture bypass."""
+
+    def _print(result) -> None:
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+    return _print

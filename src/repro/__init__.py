@@ -1,0 +1,146 @@
+"""repro — reproduction of Cao–Raynal–Wang–Wu (ICPP'06).
+
+*The Power and Limit of Adding Synchronization Messages for Synchronous
+Agreement*: an extended round-based synchronous model whose send phase
+pipelines an ordered 1-bit synchronization ("commit") step behind the data
+step, a rotating-coordinator uniform consensus algorithm deciding in at
+most ``f + 1`` rounds, and the matching ``f + 1`` lower bound.
+
+Quickstart::
+
+    from repro import CRWConsensus, ExtendedSynchronousEngine, CoordinatorKiller
+    from repro.util import RandomSource
+
+    n, t, f = 8, 3, 2
+    rng = RandomSource(7)
+    procs = [CRWConsensus(pid, n, proposal=100 + pid) for pid in range(1, n + 1)]
+    schedule = CoordinatorKiller(f).schedule(n, t, rng)
+    result = ExtendedSynchronousEngine(procs, schedule, t=t, rng=rng).run()
+    assert result.last_decision_round == f + 1
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro._version import __version__
+from repro.analysis import decision_skew, skew_profile, verify_pipelining_invariant
+from repro.asyncsim import (
+    AsyncCrash,
+    AsyncRunner,
+    ChandraTouegConsensus,
+    DetectorSpec,
+    MR99Consensus,
+)
+from repro.baselines import EarlyStoppingConsensus, FloodSetConsensus
+from repro.ffd import TimedCrash, TimedSpec, run_ffd_consensus
+from repro.harness import ALGORITHMS, RunConfig, run_once, run_sweep
+from repro.lowerbound import (
+    ExplorationConfig,
+    Explorer,
+    certify_f_plus_one,
+    certify_no_run_exceeds,
+    refute_round_bound,
+)
+from repro.rsm import Command, KVStore, ReplicatedLog
+from repro.simulation import run_classic_on_extended, run_extended_on_classic
+from repro.snapshot import TransferSystem
+from repro.timing import RoundCost, crossover_d, timing_series
+from repro.core import (
+    CRWConsensus,
+    EagerCRW,
+    IncreasingCommitCRW,
+    TruncatedCRW,
+    analyze_locking,
+)
+from repro.errors import (
+    ConfigurationError,
+    ModelViolationError,
+    ReproError,
+    SimulationError,
+    SpecViolationError,
+)
+from repro.net import Message, MessageKind, MessageStats, SizedValue, bit_size
+from repro.sync import (
+    ClassicSynchronousEngine,
+    CommitSplitter,
+    CoordinatorKiller,
+    CrashEvent,
+    CrashPoint,
+    CrashSchedule,
+    ExtendedSynchronousEngine,
+    NoCrash,
+    RandomCrashes,
+    RoundInbox,
+    RunResult,
+    SendPlan,
+    StaggeredKiller,
+    SyncProcess,
+    assert_consensus,
+    check_consensus,
+)
+
+__all__ = [
+    "__version__",
+    "decision_skew",
+    "skew_profile",
+    "verify_pipelining_invariant",
+    "AsyncCrash",
+    "AsyncRunner",
+    "ChandraTouegConsensus",
+    "DetectorSpec",
+    "MR99Consensus",
+    "TimedCrash",
+    "TimedSpec",
+    "run_ffd_consensus",
+    "ALGORITHMS",
+    "RunConfig",
+    "run_once",
+    "run_sweep",
+    "ExplorationConfig",
+    "Explorer",
+    "certify_f_plus_one",
+    "certify_no_run_exceeds",
+    "refute_round_bound",
+    "Command",
+    "KVStore",
+    "ReplicatedLog",
+    "run_classic_on_extended",
+    "run_extended_on_classic",
+    "TransferSystem",
+    "RoundCost",
+    "crossover_d",
+    "timing_series",
+    "EarlyStoppingConsensus",
+    "FloodSetConsensus",
+    "CRWConsensus",
+    "EagerCRW",
+    "IncreasingCommitCRW",
+    "TruncatedCRW",
+    "analyze_locking",
+    "ConfigurationError",
+    "ModelViolationError",
+    "ReproError",
+    "SimulationError",
+    "SpecViolationError",
+    "Message",
+    "MessageKind",
+    "MessageStats",
+    "SizedValue",
+    "bit_size",
+    "ClassicSynchronousEngine",
+    "CommitSplitter",
+    "CoordinatorKiller",
+    "CrashEvent",
+    "CrashPoint",
+    "CrashSchedule",
+    "ExtendedSynchronousEngine",
+    "NoCrash",
+    "RandomCrashes",
+    "RoundInbox",
+    "RunResult",
+    "SendPlan",
+    "StaggeredKiller",
+    "SyncProcess",
+    "assert_consensus",
+    "check_consensus",
+]

@@ -1,0 +1,47 @@
+"""Closed-form formulas and run-trace analytics."""
+
+from repro.analysis.formulas import (
+    classic_time,
+    crossover_d,
+    crw_best_bits,
+    crw_best_messages,
+    crw_round_bound,
+    crw_worst_bits_bound,
+    crw_worst_messages_bound,
+    early_stopping_round_bound,
+    extended_time,
+    ffd_time_bound,
+    floodset_rounds,
+    simulation_blowup,
+)
+from repro.analysis.simultaneity import SkewProfile, decision_skew, skew_profile
+from repro.analysis.traces import (
+    RoundTraffic,
+    decision_timeline,
+    drop_audit,
+    traffic_by_round,
+    verify_pipelining_invariant,
+)
+
+__all__ = [
+    "classic_time",
+    "crossover_d",
+    "crw_best_bits",
+    "crw_best_messages",
+    "crw_round_bound",
+    "crw_worst_bits_bound",
+    "crw_worst_messages_bound",
+    "early_stopping_round_bound",
+    "extended_time",
+    "ffd_time_bound",
+    "floodset_rounds",
+    "simulation_blowup",
+    "SkewProfile",
+    "decision_skew",
+    "skew_profile",
+    "RoundTraffic",
+    "decision_timeline",
+    "drop_audit",
+    "traffic_by_round",
+    "verify_pipelining_invariant",
+]

@@ -1,0 +1,91 @@
+"""Decision skew: how *simultaneous* are the decisions of one run?
+
+The paper borrows its ordered-sending trick from the simultaneous-
+Byzantine-agreement literature (Dolev–Reischuk–Strong [8], cited exactly
+for "models where the sending order is relevant").  Figure 1 is *not*
+simultaneous: under a commit-split crash, the top ids decide a round
+before everyone else.  The skew — ``last decision round − first decision
+round`` — quantifies that, and its behaviour is a fingerprint of the
+commit design:
+
+* failure-free: skew 0 (everyone decides in round 1);
+* coordinator cascade (nothing delivered): skew 0 (everyone waits for the
+  first live coordinator);
+* commit splitter: skew ≥ 1 — the delivered prefix decides early, the
+  rest needs the next coordinator;
+* the skew is bounded by ``f`` (decisions happen between the first
+  completed line 4 and round ``f+1``).
+
+:func:`decision_skew` computes it for one run; :func:`skew_profile`
+aggregates over an adversary sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sync.adversary import Adversary
+from repro.sync.result import RunResult
+from repro.util.rng import RandomSource
+from repro.util.stats import Summary, summarize
+
+__all__ = ["decision_skew", "SkewProfile", "skew_profile"]
+
+
+def decision_skew(result: RunResult) -> int:
+    """``last − first`` decision round (0 when at most one round decides,
+    or when nobody decided)."""
+    rounds = list(result.decision_rounds.values())
+    if not rounds:
+        return 0
+    return max(rounds) - min(rounds)
+
+
+@dataclass(frozen=True, slots=True)
+class SkewProfile:
+    """Skew statistics over a sweep."""
+
+    adversary: str
+    n: int
+    runs: int
+    skew: Summary
+    max_skew: int
+    skew_bounded_by_f: bool  # skew <= f in every run
+
+
+def skew_profile(
+    make_processes,
+    adversary: Adversary,
+    *,
+    n: int,
+    t: int,
+    seeds: int = 30,
+    adversary_name: str = "",
+) -> SkewProfile:
+    """Measure decision skew of ``make_processes()`` runs under an adversary.
+
+    ``make_processes`` is a zero-argument factory returning the ``n``
+    process list (fresh state per run).
+    """
+    from repro.sync.extended import ExtendedSynchronousEngine
+
+    skews: list[float] = []
+    bounded = True
+    for seed in range(seeds):
+        rng = RandomSource(seed)
+        schedule = adversary.schedule(n, t, rng.spawn("adv"))
+        engine = ExtendedSynchronousEngine(
+            make_processes(), schedule, t=t, rng=rng.spawn("engine"), trace=False
+        )
+        result = engine.run()
+        s = decision_skew(result)
+        skews.append(float(s))
+        bounded = bounded and s <= result.f
+    return SkewProfile(
+        adversary=adversary_name or type(adversary).__name__,
+        n=n,
+        runs=seeds,
+        skew=summarize(skews),
+        max_skew=int(max(skews)),
+        skew_bounded_by_f=bounded,
+    )

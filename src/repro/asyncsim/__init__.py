@@ -1,0 +1,37 @@
+"""Asynchronous substrate: event simulator, ◇S detector, MR99 consensus."""
+
+from repro.asyncsim.chandra_toueg import ChandraTouegConsensus
+from repro.asyncsim.events import Event, EventQueue
+from repro.asyncsim.failure_detector import DetectorSpec, SimulatedDiamondS
+from repro.asyncsim.mr99 import BOT, MR99Consensus
+from repro.asyncsim.network import (
+    AsyncNetwork,
+    ConstantDelay,
+    DelayModel,
+    GstDelay,
+    LogNormalDelay,
+    UniformDelay,
+)
+from repro.asyncsim.process import AsyncProcess, ProcessContext
+from repro.asyncsim.runner import AsyncCrash, AsyncRunner, AsyncRunResult
+
+__all__ = [
+    "ChandraTouegConsensus",
+    "Event",
+    "EventQueue",
+    "DetectorSpec",
+    "SimulatedDiamondS",
+    "BOT",
+    "MR99Consensus",
+    "AsyncNetwork",
+    "ConstantDelay",
+    "DelayModel",
+    "GstDelay",
+    "LogNormalDelay",
+    "UniformDelay",
+    "AsyncProcess",
+    "ProcessContext",
+    "AsyncCrash",
+    "AsyncRunner",
+    "AsyncRunResult",
+]

@@ -1,0 +1,167 @@
+"""Chandra–Toueg ◇S consensus (the paper's reference [5]).
+
+Chandra and Toueg's algorithm is the original rotating-coordinator
+consensus for asynchronous systems augmented with an eventually strong
+failure detector, and the source of the *value locking* vocabulary the
+paper uses for its Lemma 2 ("some authors say the value is then locked
+[5, 12]").  Implementing it next to MR99 makes the Section-4 comparison
+three-way: one synchronous and two asynchronous realizations of the same
+coordinator/lock pattern.
+
+Round ``r`` (coordinator ``c = ((r-1) mod n) + 1``), requires ``t < n/2``:
+
+1. **estimate** — every process sends ``EST(r, est, ts)`` to ``c``, where
+   ``ts`` is the round in which ``est`` was last adopted;
+2. **select** — ``c`` collects ``> n/2`` estimates, keeps one with the
+   largest ``ts``, and broadcasts ``TRY(r, est_c)``;
+3. **ack/nack** — every process waits for ``TRY(r)`` or suspicion of
+   ``c``; on TRY it adopts (``est := est_c``, ``ts := r``) and sends
+   ``ACK(r)``, otherwise ``NACK(r)``;
+4. **lock** — ``c`` collects ``> n/2`` ACK/NACK votes; if all-but-nacks…
+   precisely: if the ACKs alone exceed ``n/2`` the value is *locked* and
+   ``c`` reliably broadcasts ``DECIDE(est_c)``; otherwise the round is
+   lost and everyone moves on.
+
+The timestamp rule gives the locking property: once a majority adopted
+``v`` in round ``r``, every later coordinator's majority estimate set
+intersects that majority, and the max-timestamp pick can only select
+``v``.  Reliable broadcast is implemented as relay-on-first-receipt, so a
+coordinator crashing mid-DECIDE cannot split the outcome.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.asyncsim.process import AsyncProcess
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+
+__all__ = ["ChandraTouegConsensus"]
+
+
+class ChandraTouegConsensus(AsyncProcess):
+    """One CT process (requires ``t < n/2``)."""
+
+    def __init__(self, pid: int, n: int, proposal: Any, t: int) -> None:
+        super().__init__(pid, n)
+        if not 0 <= t < n / 2:
+            raise ConfigurationError(
+                f"Chandra-Toueg needs a correct majority: t={t}, n={n}"
+            )
+        self.proposal = proposal
+        self.t = t
+        self.est: Any = proposal
+        self.ts = 0  # round of last adoption
+        self.r = 1
+        self.phase = 1  # 1: send estimate / 2: wait TRY / handled per round
+        self._sent_est: set[int] = set()
+        self._sent_vote: set[int] = set()
+        self._sent_try: set[int] = set()
+        self._my_try: dict[int, Any] = {}  # rounds I coordinated -> value I proposed
+        self._sent_decide = False
+        # Coordinator-side buffers.
+        self._estimates: dict[int, dict[int, tuple[Any, int]]] = defaultdict(dict)
+        self._votes: dict[int, dict[int, bool]] = defaultdict(dict)  # sender -> ack?
+        # Participant-side buffer.
+        self._try: dict[int, Any] = {}
+        self.rounds_executed = 0
+
+    @staticmethod
+    def coordinator(round_no: int, n: int) -> int:
+        return ((round_no - 1) % n) + 1
+
+    @property
+    def _majority(self) -> int:
+        return self.n // 2 + 1
+
+    # -- wiring ---------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._progress()
+
+    def on_fd_change(self) -> None:
+        if not self.decided:
+            self._progress()
+
+    def on_message(self, msg: Message) -> None:
+        if msg.tag == "DECIDE":
+            self._on_decide(msg.payload)
+            return
+        if self.decided:
+            return
+        if msg.tag == "EST":
+            est, ts = msg.payload
+            self._estimates[msg.round_no].setdefault(msg.sender, (est, ts))
+        elif msg.tag == "TRY":
+            if msg.sender == self.coordinator(msg.round_no, self.n):
+                self._try.setdefault(msg.round_no, msg.payload)
+        elif msg.tag == "ACK":
+            self._votes[msg.round_no].setdefault(msg.sender, True)
+        elif msg.tag == "NACK":
+            self._votes[msg.round_no].setdefault(msg.sender, False)
+        self._progress()
+
+    def _on_decide(self, value: Any) -> None:
+        if not self.decided:
+            self.est = value
+            self.decide(value, round_no=self.r)
+            self.ctx.broadcast("DECIDE", value, round_no=self.r)  # reliable relay
+
+    # -- state machine ------------------------------------------------------------
+
+    def _check_lock(self) -> bool:
+        """Step 4 for every round I coordinated: decide on an ACK majority.
+
+        Votes trickle in after the coordinator has moved on to later
+        rounds, so the quorum check must cover past rounds, not only the
+        current one.
+        """
+        for r, value in self._my_try.items():
+            votes = self._votes[r]
+            acks = sum(1 for ack in votes.values() if ack)
+            if acks >= self._majority and not self._sent_decide:
+                self._sent_decide = True
+                self._on_decide(value)
+                return True
+        return False
+
+    def _progress(self) -> None:
+        if self._check_lock():
+            return
+        while not self.decided:
+            r = self.r
+            c = self.coordinator(r, self.n)
+
+            # Step 1: ship my estimate to the round's coordinator (once).
+            if r not in self._sent_est:
+                self._sent_est.add(r)
+                self.ctx.send(c, "EST", (self.est, self.ts), round_no=r)
+
+            # Coordinator: step 2 — select the freshest estimate, broadcast.
+            if self.pid == c and r not in self._sent_try:
+                ests = self._estimates[r]
+                if len(ests) >= self._majority:
+                    best_est, _best_ts = max(ests.values(), key=lambda pair: pair[1])
+                    self._sent_try.add(r)
+                    self._my_try[r] = best_est
+                    self.ctx.broadcast("TRY", best_est, round_no=r)
+
+            # Participant: step 3 — vote once per round.
+            if r not in self._sent_vote:
+                if r in self._try:
+                    self.est = self._try[r]
+                    self.ts = r
+                    self._sent_vote.add(r)
+                    self.ctx.send(c, "ACK", None, round_no=r)
+                elif self.ctx.suspects(c):
+                    self._sent_vote.add(r)
+                    self.ctx.send(c, "NACK", None, round_no=r)
+                else:
+                    return  # wait for TRY or suspicion
+
+            # Advance; past-round coordinator duties continue via buffers
+            # and _check_lock on later events.
+            self.rounds_executed += 1
+            self.r += 1

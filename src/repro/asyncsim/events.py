@@ -1,0 +1,104 @@
+"""Discrete-event core: simulated clock and event queue.
+
+The asynchronous substrate (Section 4's MR99 bridge) and the timed
+fast-failure-detector model (related work [1]) both run on this engine:
+a priority queue of ``(time, seq, action)`` entries executed in
+chronological order.  ``seq`` breaks ties deterministically in insertion
+order, so runs are exactly reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["EventQueue", "Event"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled action.  Ordering: time, then insertion sequence."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as a no-op (it stays in the heap but won't run)."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic simulated-time event loop."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self.executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ConfigurationError(f"cannot schedule into the past (delay={delay})")
+        ev = Event(time=self._now + delay, seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ConfigurationError(
+                f"cannot schedule at {time} < now {self._now}"
+            )
+        ev = Event(time=time, seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def run(
+        self,
+        *,
+        until: float | None = None,
+        max_events: int = 1_000_000,
+        stop: Callable[[], bool] | None = None,
+    ) -> float:
+        """Drain the queue; return the final simulated time.
+
+        Stops when the queue empties, simulated time would pass ``until``,
+        ``stop()`` turns true (checked between events), or ``max_events``
+        executed (then raises — a runaway protocol is a bug, not a result).
+        """
+        while self._heap:
+            if stop is not None and stop():
+                break
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if until is not None and ev.time > until:
+                # Leave the event unexecuted; the horizon ends the run.
+                heapq.heappush(self._heap, ev)
+                self._now = until
+                break
+            self._now = ev.time
+            ev.action()
+            self.executed += 1
+            if self.executed > max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events}); runaway protocol?"
+                )
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)

@@ -1,0 +1,157 @@
+"""MR99: the ◇S-based asynchronous consensus of Mostéfaoui–Raynal (DISC'99).
+
+Section 4 of the paper is an extended comparison between its synchronous
+algorithm and MR99: each MR99 round is coordinated and has **two
+communication steps**, and the paper's COMMIT message plays exactly the
+role of MR99's second step — establishing that "everyone knows the
+coordinator's estimate", i.e. that the value is locked.  This module makes
+the bridge executable.
+
+Round ``r`` (coordinator ``c = ((r-1) mod n) + 1``), for process ``p``:
+
+1. **Step 1** — ``c`` broadcasts ``EST(r, est_c)``.  ``p`` waits until it
+   receives it or its detector suspects ``c``; sets ``aux`` to the estimate
+   or ``⊥``.
+2. **Step 2** — ``p`` broadcasts ``AUX(r, aux)`` and waits for such
+   messages from at least ``n - t`` processes ("as many as possible while
+   preventing deadlock").  Let ``rec`` be the received values:
+
+   * ``rec = {v}``      → decide ``v`` (and flood ``DECIDE(v)``);
+   * ``v ∈ rec, v ≠ ⊥`` → adopt: ``est := v``;
+   * ``rec = {⊥}``      → keep ``est``.
+
+Safety needs ``t < n/2`` (quorum intersection: two ``n-t`` sets share a
+process, and a process sends one ``aux`` per round); this is the "majority
+of correct processes" requirement the paper quotes from [5].  The DECIDE
+flood gives termination for processes lagging behind a decided one.
+
+Messages carry their round number explicitly — the asynchronous cost the
+paper contrasts with synchronous rounds — and the implementation buffers
+early arrivals for future rounds, re-evaluating its wait conditions after
+every event (message or detector change).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.asyncsim.process import AsyncProcess
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+
+__all__ = ["MR99Consensus", "BOT"]
+
+
+class _Bot:
+    """The ⊥ placeholder (a process saw no coordinator estimate)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "⊥"
+
+    def bit_size(self) -> int:
+        return 1
+
+
+BOT = _Bot()
+
+
+class MR99Consensus(AsyncProcess):
+    """One MR99 process (requires ``t < n/2``)."""
+
+    def __init__(self, pid: int, n: int, proposal: Any, t: int) -> None:
+        super().__init__(pid, n)
+        if not 0 <= t < n / 2:
+            raise ConfigurationError(
+                f"MR99 needs a majority of correct processes: t={t}, n={n}"
+            )
+        self.proposal = proposal
+        self.t = t
+        self.est: Any = proposal
+        self.r = 1
+        self.phase = 1
+        self._sent_est: set[int] = set()  # rounds for which (as coord) EST went out
+        self._sent_aux: set[int] = set()
+        self._est_from_coord: dict[int, Any] = {}  # round -> coordinator estimate
+        self._aux: dict[int, dict[int, Any]] = defaultdict(dict)  # round -> sender -> aux
+        self.rounds_executed = 0
+
+    # -- protocol ------------------------------------------------------------
+
+    @staticmethod
+    def coordinator(round_no: int, n: int) -> int:
+        """Rotating coordinator: rounds 1..n map to p_1..p_n, then wrap."""
+        return ((round_no - 1) % n) + 1
+
+    def on_start(self) -> None:
+        self._progress()
+
+    def on_message(self, msg: Message) -> None:
+        if self.decided and msg.tag != "DECIDE":
+            return  # decided processes only relay decisions
+        if msg.tag == "EST":
+            # Only the round's coordinator legitimately sends EST.
+            if msg.sender == self.coordinator(msg.round_no, self.n):
+                self._est_from_coord.setdefault(msg.round_no, msg.payload)
+        elif msg.tag == "AUX":
+            self._aux[msg.round_no].setdefault(msg.sender, msg.payload)
+        elif msg.tag == "DECIDE":
+            self._on_decide(msg.payload)
+            return
+        self._progress()
+
+    def on_fd_change(self) -> None:
+        if not self.decided:
+            self._progress()
+
+    def _on_decide(self, value: Any) -> None:
+        if not self.decided:
+            self.est = value
+            self.decide(value, round_no=self.r)
+            # Relay so every lagging process terminates (reliable flood).
+            self.ctx.broadcast("DECIDE", value, round_no=self.r)
+
+    def _progress(self) -> None:
+        """Drive the state machine as far as current knowledge allows."""
+        while not self.decided:
+            c = self.coordinator(self.r, self.n)
+            if self.phase == 1:
+                if self.pid == c and self.r not in self._sent_est:
+                    self._sent_est.add(self.r)
+                    self.ctx.broadcast("EST", self.est, round_no=self.r)
+                if self.r in self._est_from_coord:
+                    aux = self._est_from_coord[self.r]
+                elif self.ctx.suspects(c):
+                    aux = BOT
+                else:
+                    return  # still waiting on the coordinator or the detector
+                if self.r not in self._sent_aux:
+                    self._sent_aux.add(self.r)
+                    self.ctx.broadcast("AUX", aux, round_no=self.r)
+                self.phase = 2
+
+            # Phase 2: wait for n - t AUX values of the current round.
+            received = self._aux[self.r]
+            if len(received) < self.n - self.t:
+                return
+            rec = set(received.values())
+            self.rounds_executed += 1
+            if len(rec) == 1 and BOT not in rec:
+                (value,) = rec
+                self._on_decide(value)
+                return
+            non_bot = rec - {BOT}
+            if non_bot:
+                # All non-⊥ values in a round equal the coordinator's
+                # estimate, so adoption is unambiguous.
+                (value,) = non_bot
+                self.est = value
+            self.r += 1
+            self.phase = 1

@@ -1,0 +1,135 @@
+"""Asynchronous network: reliable channels with model-driven delays.
+
+The asynchronous system of Section 4 has no bound on message delay; a
+:class:`DelayModel` supplies per-message delays (the simulation equivalent
+of an adversarial scheduler).  Channels stay reliable and, as in the rest
+of the library, nothing is ever lost, duplicated, or altered — a crashed
+recipient simply never processes what arrives after its crash.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.asyncsim.events import EventQueue
+from repro.errors import ConfigurationError
+from repro.net.accounting import MessageStats
+from repro.net.message import Message, MessageKind
+from repro.util.rng import RandomSource
+
+__all__ = [
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "LogNormalDelay",
+    "GstDelay",
+    "AsyncNetwork",
+]
+
+
+class DelayModel(abc.ABC):
+    """Produces a delivery delay for each message."""
+
+    @abc.abstractmethod
+    def delay(self, msg: Message, now: float, rng: RandomSource) -> float:
+        """Delay (>= 0) to apply to ``msg`` sent at time ``now``."""
+
+
+@dataclass(frozen=True)
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``value`` time units."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ConfigurationError("delay must be >= 0")
+
+    def delay(self, msg: Message, now: float, rng: RandomSource) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class UniformDelay(DelayModel):
+    """Uniform delay in ``[lo, hi]``."""
+
+    lo: float = 0.5
+    hi: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.hi:
+            raise ConfigurationError(f"need 0 <= lo <= hi, got [{self.lo}, {self.hi}]")
+
+    def delay(self, msg: Message, now: float, rng: RandomSource) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+
+@dataclass(frozen=True)
+class LogNormalDelay(DelayModel):
+    """Heavy-tailed delays (LAN with rare stragglers)."""
+
+    mu: float = 0.0
+    sigma: float = 0.5
+
+    def delay(self, msg: Message, now: float, rng: RandomSource) -> float:
+        return rng.lognormal(self.mu, self.sigma)
+
+
+@dataclass(frozen=True)
+class GstDelay(DelayModel):
+    """Partial synchrony: arbitrary (bounded-by-``wild``) delays before the
+    Global Stabilization Time, at most ``bound`` after it.
+
+    This is the delay regime under which an eventually-accurate failure
+    detector makes sense: timeouts are wrong before GST and right after.
+    """
+
+    gst: float = 10.0
+    wild: float = 5.0
+    bound: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.gst < 0 or self.wild <= 0 or self.bound <= 0:
+            raise ConfigurationError("gst >= 0, wild > 0, bound > 0 required")
+
+    def delay(self, msg: Message, now: float, rng: RandomSource) -> float:
+        if now < self.gst:
+            return rng.uniform(0.0, self.wild)
+        return rng.uniform(self.bound * 0.1, self.bound)
+
+
+class AsyncNetwork:
+    """Routes messages through the event queue with per-message delays."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        delay_model: DelayModel,
+        rng: RandomSource,
+        deliver: Callable[[Message], None],
+        stats: MessageStats | None = None,
+    ) -> None:
+        self.queue = queue
+        self.delay_model = delay_model
+        self.rng = rng
+        self._deliver = deliver
+        self.stats = stats if stats is not None else MessageStats()
+
+    def send(self, msg: Message) -> None:
+        """Send ``msg``; it will be delivered after a model-chosen delay."""
+        if msg.kind is not MessageKind.ASYNC:
+            raise ConfigurationError(
+                f"the asynchronous network carries ASYNC messages, got {msg.kind}"
+            )
+        self.stats.on_send(msg)
+        delay = self.delay_model.delay(msg, self.queue.now, self.rng)
+        if delay < 0:
+            raise ConfigurationError(f"delay model produced negative delay {delay}")
+
+        def deliver() -> None:
+            self.stats.on_deliver(msg)
+            self._deliver(msg)
+
+        self.queue.schedule(delay, deliver, label=f"deliver {msg.tag} {msg.sender}->{msg.dest}")

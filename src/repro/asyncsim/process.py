@@ -1,0 +1,150 @@
+"""Asynchronous process API.
+
+An :class:`AsyncProcess` is an event-driven state machine: the runner wires
+it to a :class:`ProcessContext` and invokes ``on_start`` once, then
+``on_message`` per delivery and ``on_fd_change`` per detector update.
+Handlers run atomically at a simulated instant; crashes take effect between
+events (message-granular crash interleavings are the synchronous engines'
+job — MR99-style indulgent protocols are safe under any interleaving, which
+the property tests check through delay/churn randomisation instead).
+
+Unlike the synchronous API there is no round structure: protocols must tag
+messages with their own round numbers (Section 4 of the paper points to
+exactly this as an intrinsic cost of asynchrony).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable
+
+from repro.asyncsim.events import EventQueue
+from repro.asyncsim.failure_detector import SimulatedDiamondS
+from repro.asyncsim.network import AsyncNetwork
+from repro.errors import ConfigurationError, ModelViolationError
+from repro.net.message import Message, MessageKind
+
+__all__ = ["ProcessContext", "AsyncProcess"]
+
+
+class ProcessContext:
+    """Capabilities handed to one process by the runner."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        queue: EventQueue,
+        network: AsyncNetwork,
+        detector: SimulatedDiamondS,
+        local_deliver: Callable[[Message], None],
+    ) -> None:
+        self.pid = pid
+        self.n = n
+        self._queue = queue
+        self._network = network
+        self._detector = detector
+        self._local_deliver = local_deliver
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._queue.now
+
+    def send(self, dest: int, tag: str, payload: Any, round_no: int = 0) -> None:
+        """Send one protocol message."""
+        if not 1 <= dest <= self.n:
+            raise ModelViolationError(f"p{self.pid}: bad destination {dest}")
+        msg = Message(
+            MessageKind.ASYNC, self.pid, dest, round_no, payload=payload, tag=tag
+        )
+        if dest == self.pid:
+            # Self-delivery is local (no wire, no accounting) but deferred
+            # through the event queue at zero delay: delivering synchronously
+            # would re-enter the protocol handler that is sending right now,
+            # and the outer frame would then resume with stale state.
+            self._queue.schedule(
+                0.0, lambda: self._local_deliver(msg), label=f"self-deliver p{self.pid}"
+            )
+        else:
+            self._network.send(msg)
+
+    def broadcast(self, tag: str, payload: Any, round_no: int = 0) -> None:
+        """Send to every process including self (self delivery is local)."""
+        for dest in range(1, self.n + 1):
+            self.send(dest, tag, payload, round_no)
+
+    def suspects(self, pid: int) -> bool:
+        """Query this process's failure-detector module."""
+        return self._detector.suspects(self.pid, pid)
+
+    def suspected(self) -> frozenset[int]:
+        """The full current suspect list."""
+        return self._detector.suspected(self.pid)
+
+
+class AsyncProcess(abc.ABC):
+    """Base class for asynchronous protocol processes."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        if n < 1 or not 1 <= pid <= n:
+            raise ConfigurationError(f"bad pid/n: {pid}/{n}")
+        self.pid = pid
+        self.n = n
+        self.ctx: ProcessContext | None = None  # wired by the runner
+        self._decided = False
+        self._decision: Any = None
+        self._decision_time = 0.0
+        self._decision_round = 0
+
+    # -- runner wiring -------------------------------------------------------
+
+    def attach(self, ctx: ProcessContext) -> None:
+        """Install the runner-provided context (once)."""
+        if self.ctx is not None:
+            raise ConfigurationError(f"p{self.pid} attached twice")
+        self.ctx = ctx
+
+    # -- protocol hooks --------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_start(self) -> None:
+        """Called once at time 0."""
+
+    @abc.abstractmethod
+    def on_message(self, msg: Message) -> None:
+        """Called per delivered message."""
+
+    def on_fd_change(self) -> None:
+        """Called when this process's suspect list may have changed."""
+
+    # -- decision --------------------------------------------------------------
+
+    def decide(self, value: Any, round_no: int = 0) -> None:
+        """Record the (single) decision; the process may keep participating."""
+        if self._decided:
+            if value != self._decision:
+                raise ModelViolationError(
+                    f"p{self.pid} decided twice with different values"
+                )
+            return
+        self._decided = True
+        self._decision = value
+        self._decision_time = self.ctx.now if self.ctx is not None else 0.0
+        self._decision_round = round_no
+
+    @property
+    def decided(self) -> bool:
+        return self._decided
+
+    @property
+    def decision(self) -> Any:
+        return self._decision
+
+    @property
+    def decision_time(self) -> float:
+        return self._decision_time
+
+    @property
+    def decision_round(self) -> int:
+        return self._decision_round

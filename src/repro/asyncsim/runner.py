@@ -1,0 +1,180 @@
+"""Harness for asynchronous consensus runs (crash injection + spec checks)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.asyncsim.events import EventQueue
+from repro.asyncsim.failure_detector import DetectorSpec, SimulatedDiamondS
+from repro.asyncsim.network import AsyncNetwork, DelayModel, UniformDelay
+from repro.asyncsim.process import AsyncProcess, ProcessContext
+from repro.errors import ConfigurationError
+from repro.net.accounting import MessageStats
+from repro.net.message import Message
+from repro.util.rng import RandomSource
+
+__all__ = ["AsyncCrash", "AsyncRunResult", "AsyncRunner"]
+
+
+@dataclass(frozen=True, slots=True)
+class AsyncCrash:
+    """Crash ``pid`` at simulated time ``time``."""
+
+    pid: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("crash time must be >= 0")
+
+
+@dataclass(slots=True)
+class AsyncRunResult:
+    """Observable outcome of one asynchronous run."""
+
+    n: int
+    t: int
+    proposals: dict[int, Any]
+    decisions: dict[int, Any]
+    decision_times: dict[int, float]
+    decision_rounds: dict[int, int]
+    crashed: dict[int, float]
+    sim_time: float
+    events_executed: int
+    stats: MessageStats
+
+    @property
+    def f(self) -> int:
+        return len(self.crashed)
+
+    @property
+    def correct_pids(self) -> list[int]:
+        return [pid for pid in self.proposals if pid not in self.crashed]
+
+    def check_consensus(self) -> list[str]:
+        """Uniform-consensus violations of this run (empty = OK)."""
+        violations: list[str] = []
+        proposed = set(self.proposals.values())
+        for pid in self.correct_pids:
+            if pid not in self.decisions:
+                violations.append(f"termination: correct p{pid} never decided")
+        for pid, value in self.decisions.items():
+            if value not in proposed:
+                violations.append(f"validity: p{pid} decided unproposed {value!r}")
+        if len(set(self.decisions.values())) > 1:
+            violations.append(f"uniform agreement: {self.decisions}")
+        return violations
+
+
+class AsyncRunner:
+    """Wires processes, network, detector, and crashes; runs to quiescence."""
+
+    def __init__(
+        self,
+        processes: Sequence[AsyncProcess],
+        *,
+        t: int,
+        crashes: Iterable[AsyncCrash] = (),
+        delay_model: DelayModel | None = None,
+        detector_spec: DetectorSpec | None = None,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if not processes:
+            raise ConfigurationError("no processes")
+        n = processes[0].n
+        if sorted(p.pid for p in processes) != list(range(1, n + 1)):
+            raise ConfigurationError("pids must be exactly 1..n")
+        self.n = n
+        self.t = t
+        self.procs: dict[int, AsyncProcess] = {p.pid: p for p in processes}
+        self.crashes = list(crashes)
+        if len({c.pid for c in self.crashes}) != len(self.crashes):
+            raise ConfigurationError("a process can crash only once")
+        if len(self.crashes) > t:
+            raise ConfigurationError(f"{len(self.crashes)} crashes but t={t}")
+        self.rng = rng or RandomSource(0)
+        self.queue = EventQueue()
+        self.stats = MessageStats()
+        self.delay_model = delay_model or UniformDelay()
+        self.detector = SimulatedDiamondS(
+            n,
+            self.queue,
+            detector_spec or DetectorSpec(detection_latency=1.0),
+            self.rng,
+            on_change=self._on_fd_change,
+        )
+        self.network = AsyncNetwork(
+            self.queue,
+            self.delay_model,
+            self.rng.spawn("net"),
+            self._deliver,
+            stats=self.stats,
+        )
+        self._crashed: dict[int, float] = {}
+        for p in processes:
+            p.attach(
+                ProcessContext(
+                    p.pid, n, self.queue, self.network, self.detector, self._deliver
+                )
+            )
+
+    # -- wiring callbacks -----------------------------------------------------
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.dest in self._crashed:
+            return  # delivered into the void
+        self.procs[msg.dest].on_message(msg)
+
+    def _on_fd_change(self, observer: int) -> None:
+        if observer not in self._crashed:
+            self.procs[observer].on_fd_change()
+
+    def _crash(self, pid: int) -> None:
+        if pid not in self._crashed:
+            self._crashed[pid] = self.queue.now
+            self.detector.notify_crash(pid)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, *, until: float = 10_000.0, max_events: int = 2_000_000) -> AsyncRunResult:
+        """Start every process, inject crashes, drain events, report."""
+        for crash in self.crashes:
+            self.queue.schedule_at(
+                crash.time, lambda p=crash.pid: self._crash(p), label=f"crash p{crash.pid}"
+            )
+        # Start order is randomised: asynchrony includes start skew.  A
+        # process crashed at time 0 (scheduled above, hence earlier in the
+        # queue) must never run its start handler.
+        def start(pid: int) -> None:
+            if pid not in self._crashed:
+                self.procs[pid].on_start()
+
+        for pid in self.rng.shuffle(sorted(self.procs)):
+            self.queue.schedule(0.0, lambda p=pid: start(p), label=f"start p{pid}")
+
+        def all_settled() -> bool:
+            return all(
+                p.decided or pid in self._crashed for pid, p in self.procs.items()
+            )
+
+        end = self.queue.run(until=until, max_events=max_events, stop=all_settled)
+
+        return AsyncRunResult(
+            n=self.n,
+            t=self.t,
+            proposals={
+                pid: getattr(p, "proposal", None) for pid, p in self.procs.items()
+            },
+            decisions={pid: p.decision for pid, p in self.procs.items() if p.decided},
+            decision_times={
+                pid: p.decision_time for pid, p in self.procs.items() if p.decided
+            },
+            decision_rounds={
+                pid: p.decision_round for pid, p in self.procs.items() if p.decided
+            },
+            crashed=dict(self._crashed),
+            sim_time=end,
+            events_executed=self.queue.executed,
+            stats=self.stats,
+        )

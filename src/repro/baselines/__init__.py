@@ -1,0 +1,20 @@
+"""Classic-model baselines the paper compares against."""
+
+from repro.baselines.early_stopping import EarlyStoppingConsensus
+from repro.baselines.floodset import FloodSetConsensus, value_key
+from repro.baselines.interactive_consistency import (
+    BOTTOM,
+    ICConsensus,
+    InteractiveConsistency,
+    check_interactive_consistency,
+)
+
+__all__ = [
+    "EarlyStoppingConsensus",
+    "FloodSetConsensus",
+    "value_key",
+    "BOTTOM",
+    "ICConsensus",
+    "InteractiveConsistency",
+    "check_interactive_consistency",
+]

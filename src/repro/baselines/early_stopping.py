@@ -1,0 +1,86 @@
+"""Early-stopping flooding uniform consensus: ``min(f+2, t+1)`` rounds.
+
+This is the classic-model comparison point of the paper's Section 2.2: the
+best early-deciding uniform consensus in the traditional model needs
+``f + 2`` rounds (Charron-Bost & Schiper 2004, Keidar & Rajsbaum 2003),
+one more than the extended-model algorithm.
+
+The implementation follows the standard counting scheme (Raynal's guided
+tour, PRDC'02):
+
+* every round, broadcast ``(est, early)`` where ``est`` is the minimum
+  value seen and ``early`` says "I will decide right after this message";
+* maintain ``nbr[r]`` = number of processes heard from in round ``r``
+  (counting yourself), with ``nbr[0] = n``;
+* if ``nbr[r] == nbr[r-1]``, no process died *visibly* between the two
+  rounds, which implies you heard from **every** process that was alive at
+  the start of round ``r`` — hence your ``est`` is the minimum estimate
+  anywhere in the system: set ``early``;
+* a received ``early`` flag is adopted (the flag's value accompanies it and
+  is the global minimum, so adopting keeps est consistent);
+* a process with ``early`` set broadcasts once more and decides; everyone
+  reaching round ``t + 1`` decides there unconditionally.
+
+Why ``f + 2``: per process, ``nbr`` can strictly decrease at most ``f``
+times, so among the ``f + 1`` comparisons available by round ``f + 1`` one
+is an equality; the extra broadcast round makes it ``f + 2``.  Why uniform:
+an equality at ``p`` implies ``p``'s estimate is the global minimum (every
+process alive at the start of the round delivered to ``p`` — a sender that
+reached *anyone* without reaching ``p`` would have made the count drop), and
+``p`` only decides after successfully re-broadcasting that minimum to all.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.baselines.floodset import value_key
+from repro.sync.api import RoundInbox, SendPlan, SyncProcess
+
+__all__ = ["EarlyStoppingConsensus"]
+
+
+class EarlyStoppingConsensus(SyncProcess):
+    """One early-stopping flooding process (classic model)."""
+
+    def __init__(self, pid: int, n: int, proposal: Any, t: int) -> None:
+        super().__init__(pid, n)
+        if not 0 <= t < n:
+            raise ConfigurationError(f"t must satisfy 0 <= t < n, got t={t}, n={n}")
+        self.proposal = proposal
+        self.t = t
+        self.est: Any = proposal
+        self.early = False  # set -> broadcast (est, EARLY) next round, then decide
+        self._prev_nbr = n  # nbr[0] = n
+
+    def send_phase(self, round_no: int) -> SendPlan:
+        payload = (self.est, self.early)
+        return SendPlan(
+            data={j: payload for j in range(1, self.n + 1) if j != self.pid}
+        )
+
+    def compute_phase(self, round_no: int, inbox: RoundInbox) -> None:
+        if self.early:
+            # The EARLY broadcast of this round completed (we are computing,
+            # hence we did not crash during the send phase): decide exactly
+            # the value that was broadcast.
+            self.decide(self.est)
+            return
+
+        nbr = len(inbox.data) + 1  # senders heard from, plus self
+        flagged = False
+        for est, early in inbox.data.values():
+            if value_key(est) < value_key(self.est):
+                self.est = est
+            if early:
+                flagged = True
+
+        if round_no == self.t + 1:
+            # Horizon: decide unconditionally (classic t+1 fallback).
+            self.decide(self.est)
+            return
+
+        if flagged or nbr == self._prev_nbr:
+            self.early = True
+        self._prev_nbr = nbr

@@ -1,0 +1,75 @@
+"""FloodSet: the textbook ``t+1``-round uniform consensus (classic model).
+
+This is the flooding strategy the paper's footnote 5 describes as the basis
+of "all the consensus algorithms for synchronous systems that we are aware
+of": at every round each process relays the *new* values it learned in the
+previous round; after ``t + 1`` rounds it decides a deterministic function
+(here: the minimum) of its value set ``W``.
+
+Correctness sketch (classic): with at most ``t`` crashes over ``t + 1``
+rounds, some round is crash-free; after it all live processes hold equal
+``W`` sets, and a set can only grow with values every live process already
+has, so every process that completes round ``t + 1`` decides the same
+minimum.  Uniform agreement holds because *any* decider (even one about to
+crash later — there is no later) executed all ``t + 1`` rounds.
+
+The algorithm never stops early: its round count is ``t + 1`` regardless of
+``f``, which is exactly the comparison point of the paper's introduction
+("when considering only t: any t-resilient consensus algorithm requires
+t + 1 rounds").
+
+Values must be totally ordered (ints, strings, or ``SizedValue`` wrapping a
+comparable value — comparison uses the wrapped value).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.net.payload import SizedValue
+from repro.sync.api import NO_SEND, RoundInbox, SendPlan, SyncProcess
+
+__all__ = ["FloodSetConsensus", "value_key"]
+
+
+def value_key(value: Any) -> Any:
+    """Total-order key used by flooding baselines to pick a decision."""
+    if isinstance(value, SizedValue):
+        return value.value
+    return value
+
+
+class FloodSetConsensus(SyncProcess):
+    """One FloodSet process (classic synchronous model, ``t+1`` rounds)."""
+
+    def __init__(self, pid: int, n: int, proposal: Any, t: int) -> None:
+        super().__init__(pid, n)
+        if not 0 <= t < n:
+            raise ConfigurationError(f"t must satisfy 0 <= t < n, got t={t}, n={n}")
+        self.proposal = proposal
+        self.t = t
+        self.known: set[Any] = {proposal}  # W: every value seen so far
+        self._new: set[Any] = {proposal}  # values learned last round (to relay)
+
+    @property
+    def horizon(self) -> int:
+        """The fixed decision round, ``t + 1``."""
+        return self.t + 1
+
+    def send_phase(self, round_no: int) -> SendPlan:
+        if round_no > self.horizon:
+            return NO_SEND  # defensive; the process decides at the horizon
+        if not self._new:
+            return NO_SEND  # flooding optimisation: nothing new, stay silent
+        payload = frozenset(self._new)
+        return SendPlan(data={j: payload for j in range(1, self.n + 1) if j != self.pid})
+
+    def compute_phase(self, round_no: int, inbox: RoundInbox) -> None:
+        incoming: set[Any] = set()
+        for values in inbox.data.values():
+            incoming.update(values)
+        self._new = incoming - self.known
+        self.known |= self._new
+        if round_no == self.horizon:
+            self.decide(min(self.known, key=value_key))

@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the Figure-1 consensus algorithm."""
+
+from repro.core.crw import CRWConsensus
+from repro.core.locking import LockReport, analyze_locking
+from repro.core.oracle import OraclePrediction, predict
+from repro.core.variants import (
+    EagerCRW,
+    FullBroadcastCRW,
+    IncreasingCommitCRW,
+    SilentProcess,
+    TruncatedCRW,
+)
+
+__all__ = [
+    "CRWConsensus",
+    "LockReport",
+    "analyze_locking",
+    "OraclePrediction",
+    "predict",
+    "EagerCRW",
+    "FullBroadcastCRW",
+    "IncreasingCommitCRW",
+    "SilentProcess",
+    "TruncatedCRW",
+]

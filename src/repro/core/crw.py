@@ -1,0 +1,95 @@
+"""The paper's uniform consensus algorithm (Figure 1).
+
+``CRWConsensus`` (Cao–Raynal–Wang–Wu) is a rotating-coordinator algorithm
+for the **extended** synchronous model.  Pseudo-code for process ``p_i``
+with proposal ``v_i`` (paper, Figure 1)::
+
+    est := v_i
+    when r = 1, 2, ... do
+        case r = i:   for j in i+1..n:        send DATA(est) to p_j
+                      for j in n, n-1, .., i+1: send COMMIT to p_j   # ordered!
+                      return est                                     # decide
+        case r < i:   if DATA(v) received from p_r:  est := v
+                      if COMMIT received from p_r:   return est      # decide
+        case r > i:   cannot happen
+
+Key facts the implementation mirrors:
+
+* **Round ``r`` is coordinated by ``p_r``.**  Since each coordinator either
+  decides at its own round or crashes, a process never observes a round
+  greater than its own id (the ``cannot happen`` branch raises).
+* **COMMIT destinations are in decreasing id order** (``p_n`` first).  On a
+  crash during the control step an ordered *prefix* is delivered, i.e. a
+  contiguous *top* range of ids — exactly what Lemma 3's case 1 needs so
+  that if the first correct process ``p_{f+1}`` decided early, every higher
+  id decided with it.
+* **COMMIT means "line 4 completed"**: the engine only enters the control
+  step after the full data step, so receiving COMMIT implies every live
+  process received DATA this round and the value is *locked* (Lemma 2).
+* The coordinator decides in its round's computation phase, which is
+  observably identical to the paper's decide-right-after-sending: a crash
+  point of ``AFTER_SEND`` delivers everything but suppresses the decision,
+  matching "crashes just after line 5".
+
+Properties (Theorems 1 and 2): uniform consensus, decision by round
+``f + 1`` where ``f`` is the number of crashes in the run, one round when
+``p_1`` survives round 1, bit complexity between ``(n-1)(|v|+1)`` and
+``Σ_{r=1..t+1} (n-r)(|v|+1)`` bits.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ModelViolationError
+from repro.sync.api import NO_SEND, RoundInbox, SendPlan, SyncProcess
+
+__all__ = ["CRWConsensus"]
+
+
+class CRWConsensus(SyncProcess):
+    """Process of the paper's Figure-1 algorithm (extended model only)."""
+
+    def __init__(self, pid: int, n: int, proposal: Any) -> None:
+        super().__init__(pid, n)
+        self.proposal = proposal
+        self.est: Any = proposal  # the paper's est_i, initialised to v_i
+
+    # -- round hooks --------------------------------------------------------
+
+    def send_phase(self, round_no: int) -> SendPlan:
+        if round_no > self.pid:
+            raise ModelViolationError(
+                f"p{self.pid} reached round {round_no} > own id; "
+                "coordinators decide or crash at their own round (Figure 1: 'cannot happen')"
+            )
+        if round_no < self.pid:
+            return NO_SEND
+        # Coordinator: line 4 (DATA to higher ids) then line 5 (COMMIT in
+        # decreasing id order).  The engine sends control strictly after all
+        # data, and applies prefix-truncation on a control-step crash.
+        higher = range(self.pid + 1, self.n + 1)
+        return SendPlan(
+            data={j: self.est for j in higher},
+            control=tuple(range(self.n, self.pid, -1)),
+        )
+
+    def compute_phase(self, round_no: int, inbox: RoundInbox) -> None:
+        if round_no == self.pid:
+            # Line 6: the coordinator decides its own estimate.  Reaching the
+            # computation phase means the whole send phase completed.
+            self.decide(self.est)
+            return
+        # round_no < self.pid: wait for the round's coordinator p_r.
+        coord = round_no
+        if coord in inbox.data:  # line 7: adopt the coordinator's estimate
+            self.est = inbox.data[coord]
+        if coord in inbox.control:  # line 8: value is locked -> decide
+            if coord not in inbox.data:
+                # COMMIT follows a *completed* data step over reliable
+                # channels, so DATA must have arrived with it; anything else
+                # is an engine bug worth failing loudly on.
+                raise ModelViolationError(
+                    f"p{self.pid}: COMMIT from p{coord} without its DATA in round {round_no}"
+                )
+            self.decide(self.est)

@@ -1,0 +1,141 @@
+"""A closed-form oracle for Figure-1 runs — the engine's independent double.
+
+Given a *resolved* crash schedule (explicit subsets and prefixes), the
+behaviour of the paper's algorithm is a simple deterministic recurrence —
+no simulation needed:
+
+* round ``r`` is coordinated by ``p_r`` if ``p_r`` is still active;
+* if the coordinator completes its data step, every active process with a
+  higher id adopts its estimate; with a partial subset, only the subset
+  adopts;
+* commits delivered = a prefix of ``(p_n, …, p_{r+1})``; every active
+  recipient decides, and a surviving coordinator decides too;
+* crashed processes leave the game at their crash round.
+
+:func:`predict` runs that recurrence and returns per-process decisions,
+decision rounds, and exact message counts.  Its value is **differential
+testing**: the oracle and the engine implement the same semantics twice,
+from independent starting points (an event pipeline vs a recurrence), so
+agreement over randomized schedules is strong evidence both are right —
+the reproduction's analogue of testing against the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule
+
+__all__ = ["OraclePrediction", "predict"]
+
+
+@dataclass(frozen=True, slots=True)
+class OraclePrediction:
+    """What a Figure-1 run must look like."""
+
+    decisions: dict[int, Any]
+    decision_rounds: dict[int, int]
+    crashed_rounds: dict[int, int]
+    rounds_executed: int
+    data_sent: int
+    control_sent: int
+    completed: bool
+
+
+def _resolved_choices(
+    event: CrashEvent, planned_data: list[int], planned_control: list[int]
+) -> tuple[set[int], int]:
+    """Explicit (subset, prefix) of a crash event against a plan."""
+    if event.point is CrashPoint.BEFORE_SEND:
+        return set(), 0
+    if event.point is CrashPoint.DURING_DATA:
+        if event.data_subset is None:
+            raise ConfigurationError(
+                "oracle needs explicit data subsets (no rng at prediction time)"
+            )
+        return set(event.data_subset) & set(planned_data), 0
+    if event.point is CrashPoint.DURING_CONTROL:
+        if event.control_prefix is None:
+            raise ConfigurationError("oracle needs explicit control prefixes")
+        return set(planned_data), min(event.control_prefix, len(planned_control))
+    return set(planned_data), len(planned_control)  # AFTER_SEND
+
+
+def predict(
+    n: int,
+    proposals: Sequence[Any],
+    schedule: CrashSchedule,
+    *,
+    max_rounds: int | None = None,
+) -> OraclePrediction:
+    """Predict the run of ``CRWConsensus`` under ``schedule`` exactly."""
+    if len(proposals) != n:
+        raise ConfigurationError(f"need {n} proposals, got {len(proposals)}")
+    est: dict[int, Any] = {pid: proposals[pid - 1] for pid in range(1, n + 1)}
+    active = set(range(1, n + 1))
+    decisions: dict[int, Any] = {}
+    decision_rounds: dict[int, int] = {}
+    crashed_rounds: dict[int, int] = {}
+    data_sent = 0
+    control_sent = 0
+    budget = (n + 1) if max_rounds is None else max_rounds
+
+    rounds = 0
+    while active and rounds < budget:
+        r = rounds + 1
+        rounds = r
+        coord = r
+        # Who crashes this round (only active processes can).
+        crash_events = {
+            ev.pid: ev for ev in schedule.crashes_in_round(r) if ev.pid in active
+        }
+
+        # Only the coordinator sends anything in a Figure-1 round.
+        if coord in active and coord <= n:
+            planned_data = list(range(coord + 1, n + 1))
+            planned_control = list(range(n, coord, -1))
+            ev = crash_events.get(coord)
+            if ev is None:
+                delivered_data = set(planned_data)
+                prefix = len(planned_control)
+                coordinator_survives = True
+            else:
+                delivered_data, prefix = _resolved_choices(
+                    ev, planned_data, planned_control
+                )
+                coordinator_survives = False
+            data_sent += len(delivered_data)
+            delivered_control = planned_control[:prefix]
+            control_sent += len(delivered_control)
+
+            receivers = active - set(crash_events)  # crashing procs receive nothing
+            for dest in sorted(delivered_data):
+                if dest in receivers:
+                    est[dest] = est[coord]
+            for dest in delivered_control:
+                if dest in receivers and dest not in decisions:
+                    decisions[dest] = est[dest]
+                    decision_rounds[dest] = r
+            if coordinator_survives and coord not in crash_events:
+                decisions[coord] = est[coord]
+                decision_rounds[coord] = r
+
+        # Apply the round's crashes (coordinator or not).
+        for pid in crash_events:
+            crashed_rounds[pid] = r
+            active.discard(pid)
+        for pid in list(active):
+            if pid in decisions:
+                active.discard(pid)
+
+    return OraclePrediction(
+        decisions=decisions,
+        decision_rounds=decision_rounds,
+        crashed_rounds=crashed_rounds,
+        rounds_executed=rounds,
+        data_sent=data_sent,
+        control_sent=control_sent,
+        completed=not active,
+    )

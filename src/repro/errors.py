@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything originating here with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ModelViolationError",
+    "SpecViolationError",
+    "SimulationError",
+    "ExplorationBudgetExceeded",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid parameters (e.g. ``t >= n``, empty process set, bad seed)."""
+
+
+class ModelViolationError(ReproError):
+    """An algorithm broke a rule of the computation model.
+
+    Examples: a classic-model process tried to send a control message; a
+    process attempted to send after deciding; a data message addressed to an
+    unknown process id.
+    """
+
+
+class SpecViolationError(ReproError):
+    """A run violated the consensus specification.
+
+    Raised by :mod:`repro.sync.spec` checkers when validity, uniform
+    agreement, termination, or a round bound does not hold.  The offending
+    run's summary is embedded in the message to make failures actionable.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state.
+
+    This always indicates a bug in the engine (or a hand-built schedule that
+    references rounds/processes that cannot exist), never user input.
+    """
+
+
+class ExplorationBudgetExceeded(ReproError):
+    """The lower-bound explorer exceeded its configured node/time budget."""

@@ -1,0 +1,14 @@
+"""Fast-failure-detector model and consensus (related work [1], E6)."""
+
+from repro.ffd.consensus import FastFDConsensus, FFDRunResult, run_ffd_consensus
+from repro.ffd.timed import FastDetectorView, TimedCrash, TimedEnvironment, TimedSpec
+
+__all__ = [
+    "FastFDConsensus",
+    "FFDRunResult",
+    "run_ffd_consensus",
+    "FastDetectorView",
+    "TimedCrash",
+    "TimedEnvironment",
+    "TimedSpec",
+]

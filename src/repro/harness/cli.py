@@ -1,0 +1,148 @@
+"""Command-line interface: ``repro-consensus`` (or ``python -m repro.harness.cli``).
+
+Subcommands
+-----------
+``run``         one consensus run, printing the outcome and message stats
+``experiment``  regenerate one of the paper's experiments (e1..e8)
+``list``        algorithms, adversaries, experiments
+``explore``     exhaustive adversary search on a small system
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import ALL_EXPERIMENTS
+    from repro.harness.runner import ALGORITHMS
+    from repro.workloads.crashes import ADVERSARIES
+
+    print("algorithms: ", ", ".join(sorted(ALGORITHMS)))
+    print("adversaries:", ", ".join(sorted(ADVERSARIES)))
+    print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.runner import RunConfig, run_once
+    from repro.sync.spec import check_consensus
+
+    config = RunConfig(
+        algorithm=args.algorithm,
+        n=args.n,
+        t=args.t if args.t is not None else args.n - 1,
+        f=args.f,
+        adversary=args.adversary,
+        seed=args.seed,
+        value_bits=args.value_bits,
+    )
+    result = run_once(config, trace=args.trace)
+    report = check_consensus(result, require_early_stopping=args.algorithm == "crw")
+    print(result.summary())
+    print(f"stats: {result.stats}")
+    print(f"spec:  {'OK' if report.ok else '; '.join(report.violations)}")
+    if args.trace:
+        print(result.trace.format())
+    return 0 if report.ok else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import ALL_EXPERIMENTS
+    from repro.harness.report import render_experiment_markdown
+
+    name = args.name.lower()
+    if name not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try: {', '.join(sorted(ALL_EXPERIMENTS))}")
+        return 2
+    result = ALL_EXPERIMENTS[name]()
+    if args.markdown:
+        print(render_experiment_markdown(result))
+    else:
+        print(result.render())
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.core.crw import CRWConsensus
+    from repro.core.variants import TruncatedCRW
+    from repro.lowerbound.explorer import ExplorationConfig, Explorer
+
+    n = args.n
+
+    def factory():
+        if args.truncate_at is not None:
+            return {
+                pid: TruncatedCRW(pid, n, pid, k=args.truncate_at)
+                for pid in range(1, n + 1)
+            }
+        return {pid: CRWConsensus(pid, n, pid) for pid in range(1, n + 1)}
+
+    config = ExplorationConfig(
+        max_crashes=args.max_crashes,
+        max_crashes_per_round=args.per_round,
+        max_rounds=args.max_rounds,
+        dedupe=args.dedupe,
+    )
+    report = Explorer(factory, config).explore()
+    print(f"leaves: {report.leaves}  nodes: {report.nodes}")
+    print(f"worst last decision round: {report.worst_last_decision_round}")
+    print(f"early stopping (<= f+1 everywhere): {report.early_stopping_holds}")
+    print(f"violating leaves: {len(report.violating_leaves)}")
+    for leaf in report.violating_leaves[:3]:
+        print(f"  - {leaf.violations} via {[str(ev) for ev in leaf.schedule]}")
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-consensus",
+        description="Cao-Raynal-Wang-Wu (ICPP'06) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list algorithms/adversaries/experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one consensus instance")
+    p_run.add_argument("--algorithm", "-a", default="crw")
+    p_run.add_argument("--n", type=int, default=8)
+    p_run.add_argument("--t", type=int, default=None)
+    p_run.add_argument("--f", type=int, default=0)
+    p_run.add_argument("--adversary", default="coordinator-killer")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--value-bits", type=int, default=None)
+    p_run.add_argument("--trace", action="store_true")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
+    p_exp.add_argument("name", help="e1..e8")
+    p_exp.add_argument("--markdown", action="store_true")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_x = sub.add_parser("explore", help="exhaustive adversary search")
+    p_x.add_argument("--n", type=int, default=3)
+    p_x.add_argument("--max-crashes", type=int, default=1)
+    p_x.add_argument("--per-round", type=int, default=1)
+    p_x.add_argument("--max-rounds", type=int, default=4)
+    p_x.add_argument("--truncate-at", type=int, default=None)
+    p_x.add_argument(
+        "--dedupe",
+        action="store_true",
+        help="prune repeated configurations (bigger systems, same conclusions)",
+    )
+    p_x.set_defaults(func=_cmd_explore)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Markdown report generation (regenerates the body of EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import ALL_EXPERIMENTS, ExperimentResult
+
+__all__ = ["render_experiment_markdown", "render_all_markdown"]
+
+
+def render_experiment_markdown(result: ExperimentResult) -> str:
+    """One experiment as a Markdown section."""
+    parts = [f"## {result.exp_id} — {result.title}", "", f"*Claim:* {result.claim}", ""]
+    for table in result.tables:
+        parts.append(table.to_markdown())
+        parts.append("")
+    if result.findings:
+        parts.append("**Checks**")
+        parts.append("")
+        for key, value in result.findings.items():
+            mark = "✅" if value is True else ("❌" if value is False else "·")
+            parts.append(f"- {mark} `{key}` = {value}")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def render_all_markdown(selected: list[str] | None = None) -> str:
+    """Run experiments and render their Markdown sections."""
+    names = selected if selected is not None else list(ALL_EXPERIMENTS)
+    sections = []
+    for name in names:
+        result = ALL_EXPERIMENTS[name]()
+        sections.append(render_experiment_markdown(result))
+    return "\n".join(sections)

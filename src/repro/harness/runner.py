@@ -1,0 +1,202 @@
+"""Single-run and sweep execution for synchronous consensus experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.baselines.early_stopping import EarlyStoppingConsensus
+from repro.baselines.floodset import FloodSetConsensus
+from repro.core.crw import CRWConsensus
+from repro.errors import ConfigurationError
+from repro.sync.api import SyncProcess
+from repro.sync.engine import ClassicSynchronousEngine
+from repro.sync.extended import ExtendedSynchronousEngine
+from repro.sync.result import RunResult
+from repro.sync.spec import check_consensus
+from repro.util.rng import RandomSource
+from repro.util.stats import summarize
+from repro.workloads.crashes import make_adversary
+from repro.workloads.proposals import distinct_ints, sized_proposals
+
+__all__ = [
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "RunConfig",
+    "run_once",
+    "SweepRow",
+    "run_sweep",
+    "run_grid",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """How to instantiate and host one consensus algorithm."""
+
+    name: str
+    model: str  # "extended" | "classic"
+    # factory(n, t, proposals) -> processes
+    factory: Callable[[int, int, Sequence[Any]], list[SyncProcess]]
+    # closed-form worst-case rounds, for the tables: fn(f, t) -> int
+    round_bound: Callable[[int, int], int]
+
+
+ALGORITHMS: dict[str, AlgorithmSpec] = {
+    "crw": AlgorithmSpec(
+        name="crw",
+        model="extended",
+        factory=lambda n, t, props: [
+            CRWConsensus(pid, n, props[pid - 1]) for pid in range(1, n + 1)
+        ],
+        round_bound=lambda f, t: f + 1,
+    ),
+    "floodset": AlgorithmSpec(
+        name="floodset",
+        model="classic",
+        factory=lambda n, t, props: [
+            FloodSetConsensus(pid, n, props[pid - 1], t) for pid in range(1, n + 1)
+        ],
+        round_bound=lambda f, t: t + 1,
+    ),
+    "early-stopping": AlgorithmSpec(
+        name="early-stopping",
+        model="classic",
+        factory=lambda n, t, props: [
+            EarlyStoppingConsensus(pid, n, props[pid - 1], t) for pid in range(1, n + 1)
+        ],
+        round_bound=lambda f, t: min(f + 2, t + 1),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One fully specified run."""
+
+    algorithm: str
+    n: int
+    t: int
+    f: int
+    adversary: str
+    seed: int
+    value_bits: int | None = None  # None -> plain distinct ints
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; available: {sorted(ALGORITHMS)}"
+            )
+
+
+def run_once(config: RunConfig, *, trace: bool = False) -> RunResult:
+    """Execute one run."""
+    spec = ALGORITHMS[config.algorithm]
+    rng = RandomSource(config.seed)
+    proposals = (
+        sized_proposals(config.n, config.value_bits)
+        if config.value_bits is not None
+        else distinct_ints(config.n)
+    )
+    adversary_name = config.adversary
+    if spec.model == "classic" and adversary_name == "random":
+        adversary_name = "random-classic"  # classic model: no control step
+    schedule = make_adversary(adversary_name, config.f).schedule(
+        config.n, config.t, rng.spawn("adversary")
+    )
+    procs = spec.factory(config.n, config.t, proposals)
+    engine_cls = (
+        ExtendedSynchronousEngine if spec.model == "extended" else ClassicSynchronousEngine
+    )
+    engine = engine_cls(procs, schedule, t=config.t, rng=rng.spawn("engine"), trace=trace)
+    return engine.run()
+
+
+@dataclass(slots=True)
+class SweepRow:
+    """Aggregate over the seeds of one (algorithm, n, t, f, adversary) cell."""
+
+    algorithm: str
+    n: int
+    t: int
+    f: int
+    adversary: str
+    seeds: int
+    mean_last_round: float
+    max_last_round: int
+    bound: int
+    mean_messages: float
+    mean_bits: float
+    spec_ok: bool
+
+
+def run_sweep(
+    algorithm: str,
+    n: int,
+    t: int,
+    f: int,
+    adversary: str,
+    *,
+    seeds: int = 10,
+    value_bits: int | None = None,
+) -> SweepRow:
+    """Run one cell over ``seeds`` seeds and aggregate."""
+    spec = ALGORITHMS[algorithm]
+    last_rounds: list[float] = []
+    messages: list[float] = []
+    bits: list[float] = []
+    all_ok = True
+    for seed in range(seeds):
+        result = run_once(
+            RunConfig(algorithm, n, t, f, adversary, seed, value_bits), trace=False
+        )
+        report = check_consensus(result)
+        all_ok = all_ok and report.ok
+        last_rounds.append(float(result.last_decision_round))
+        messages.append(float(result.stats.messages_sent))
+        bits.append(float(result.stats.bits_sent))
+    return SweepRow(
+        algorithm=algorithm,
+        n=n,
+        t=t,
+        f=f,
+        adversary=adversary,
+        seeds=seeds,
+        mean_last_round=summarize(last_rounds).mean,
+        max_last_round=int(max(last_rounds)),
+        bound=spec.round_bound(f, t),
+        mean_messages=summarize(messages).mean,
+        mean_bits=summarize(bits).mean,
+        spec_ok=all_ok,
+    )
+
+
+def run_grid(
+    algorithm: str,
+    grid: "CrashGrid",
+    *,
+    value_bits: int | None = None,
+) -> list[SweepRow]:
+    """Run an algorithm over a whole :class:`~repro.workloads.crashes.CrashGrid`.
+
+    The grid enumerates ``(n, t, f, adversary, seed)`` cells; results are
+    aggregated per ``(n, t, f, adversary)`` via :func:`run_sweep`-style
+    statistics.  Cells whose adversary is incompatible with the
+    algorithm's model are mapped like :func:`run_once` does (``random`` →
+    ``random-classic`` for classic-model algorithms).
+    """
+    from collections import defaultdict
+
+    from repro.workloads.crashes import CrashGrid  # noqa: F401 (doc type)
+
+    cells: dict[tuple[int, int, int, str], int] = defaultdict(int)
+    for n, t, f, adversary, _seed in grid:
+        cells[(n, t, f, adversary)] += 1
+    rows = []
+    for (n, t, f, adversary), seeds in sorted(cells.items()):
+        rows.append(
+            run_sweep(
+                algorithm, n, t, f, adversary, seeds=seeds, value_bits=value_bits
+            )
+        )
+    return rows

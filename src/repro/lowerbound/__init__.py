@@ -1,0 +1,41 @@
+"""Lower-bound machinery: exhaustive adversary, valency, certificates."""
+
+from repro.lowerbound.chain import ChainReport, ChainStep, extend_bivalent_chain
+from repro.lowerbound.certificates import (
+    Certificate,
+    certify_f_plus_one,
+    certify_no_run_exceeds,
+    refute_round_bound,
+    worst_case_schedule,
+)
+from repro.lowerbound.explorer import (
+    ExplorationConfig,
+    ExplorationReport,
+    Explorer,
+    LeafOutcome,
+)
+from repro.lowerbound.valency import (
+    ValencyReport,
+    find_bivalent_initial,
+    initial_valency,
+    valency_spectrum,
+)
+
+__all__ = [
+    "ChainReport",
+    "ChainStep",
+    "extend_bivalent_chain",
+    "Certificate",
+    "certify_f_plus_one",
+    "certify_no_run_exceeds",
+    "refute_round_bound",
+    "worst_case_schedule",
+    "ExplorationConfig",
+    "ExplorationReport",
+    "Explorer",
+    "LeafOutcome",
+    "ValencyReport",
+    "find_bivalent_initial",
+    "initial_valency",
+    "valency_spectrum",
+]

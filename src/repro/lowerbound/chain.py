@@ -1,0 +1,221 @@
+"""Bivalency chains — the Aguilera–Toueg proof mechanism, executable.
+
+Theorem 3's proof (after [2]) runs in two steps:
+
+1. some initial configuration is *bivalent* (both decision values reachable
+   in extensions), and
+2. from a bivalent configuration, an adversary crashing **at most one
+   process per round** can always reach a configuration at the next round
+   that is still bivalent — as long as it has crashes left.
+
+Chaining (2) for ``t`` rounds keeps the outcome undetermined through round
+``t``, so no algorithm can have everyone decided by then: deciding in a
+bivalent configuration means some extension contradicts you.
+
+:func:`extend_bivalent_chain` performs exactly that construction for a
+concrete algorithm: starting from a (given or discovered) bivalent initial
+configuration it greedily picks, round by round, an adversary action (no
+crash, or one crash with an explicit subset/prefix) whose successor
+configuration remains bivalent — valency being computed by exhaustive
+exploration of the remainder.  The returned chain is the proof's skeleton
+made out of real process states:
+
+* for the paper's (correct) algorithm the chain runs through round
+  ``t - 1`` — exactly the reach of Aguilera–Toueg's induction; their
+  round-``t`` finale is a separate case analysis, not a bivalence claim,
+  and indeed every round-``t`` successor here is univalent;
+* for a too-fast algorithm the chain survives *past its decision
+  deadline*: a configuration in which everyone has decided cannot be
+  bivalent, so bivalence after the deadline round certifies that
+  conflicting decisions already occurred below — these are precisely the
+  disagreement runs E4 reports.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.lowerbound.explorer import ExplorationConfig, Explorer
+from repro.net.accounting import MessageStats
+from repro.sync.api import SyncProcess
+from repro.sync.crash import CrashEvent, CrashPoint
+from repro.sync.engine import execute_round
+from repro.util.trace import Trace
+
+__all__ = ["ChainStep", "ChainReport", "extend_bivalent_chain"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChainStep:
+    """One round of the chain: the adversary action that kept bivalence."""
+
+    round_no: int
+    action: tuple[CrashEvent, ...]
+    reachable_after: frozenset
+
+
+@dataclass(frozen=True, slots=True)
+class ChainReport:
+    """The constructed chain."""
+
+    proposals: tuple[Any, ...]
+    initial_reachable: frozenset
+    steps: tuple[ChainStep, ...]
+    final_reachable: frozenset
+
+    @property
+    def length(self) -> int:
+        """Rounds through which bivalence was maintained."""
+        return len(self.steps)
+
+    @property
+    def initially_bivalent(self) -> bool:
+        return len(self.initial_reachable) >= 2
+
+
+@dataclass
+class _State:
+    procs: dict[int, SyncProcess]
+    active: set[int]
+    crashes_used: int
+    decided_values: set
+    round_no: int
+
+
+def _reachable_values(state: _State, cfg: ExplorationConfig) -> frozenset:
+    """Exhaustive valency of a mid-run configuration (prefix decisions included)."""
+    out: set = set(state.decided_values)
+    stack = [state]
+    while stack:
+        node = stack.pop()
+        if not node.active or node.round_no >= cfg.max_rounds:
+            out |= node.decided_values
+            continue
+        scratch = copy.deepcopy(node.procs)
+        plans = {}
+        n = next(iter(node.procs.values())).n
+        for pid in sorted(node.active):
+            plan = scratch[pid].send_phase(node.round_no + 1)
+            plans[pid] = (tuple(sorted(plan.data.keys())), plan.control)
+        for combo in _actions(node, plans, cfg):
+            child = _apply(node, combo)
+            stack.append(child)
+    return frozenset(out)
+
+
+def _actions(
+    node: _State,
+    plans: Mapping[int, tuple[tuple[int, ...], tuple[int, ...]]],
+    cfg: ExplorationConfig,
+):
+    yield ()
+    if node.crashes_used >= cfg.max_crashes:
+        return
+    cap = min(cfg.max_crashes_per_round, cfg.max_crashes - node.crashes_used)
+    victims = sorted(node.active)
+    for count in range(1, cap + 1):
+        for group in itertools.combinations(victims, count):
+            pools = [
+                list(
+                    Explorer._victim_actions(
+                        pid, node.round_no + 1, plans[pid][0], plans[pid][1]
+                    )
+                )
+                for pid in group
+            ]
+            yield from itertools.product(*pools)
+
+
+def _apply(node: _State, combo: tuple[CrashEvent, ...]) -> _State:
+    child = _State(
+        procs=copy.deepcopy(node.procs),
+        active=set(node.active),
+        crashes_used=node.crashes_used + len(combo),
+        decided_values=set(node.decided_values),
+        round_no=node.round_no + 1,
+    )
+    outcome = execute_round(
+        child.procs,
+        child.active,
+        child.round_no,
+        {ev.pid: ev for ev in combo},
+        allow_control=True,
+        stats=MessageStats(),
+        trace=Trace(enabled=False),
+        rng=None,
+    )
+    for pid in outcome.resolved_crashes:
+        child.active.discard(pid)
+    for pid, value in outcome.new_decisions.items():
+        child.decided_values.add(value)
+        child.active.discard(pid)
+    return child
+
+
+def extend_bivalent_chain(
+    factory: Callable[[], Mapping[int, SyncProcess]],
+    config: ExplorationConfig,
+) -> ChainReport:
+    """Greedily build the longest bivalence-preserving chain.
+
+    ``factory`` must produce processes whose proposals make the initial
+    configuration bivalent under ``config`` (use
+    :func:`repro.lowerbound.valency.find_bivalent_initial` to discover
+    one); a univalent start yields an empty chain.
+    """
+    root_procs = dict(factory())
+    if not root_procs:
+        raise ConfigurationError("factory produced no processes")
+    proposals = tuple(
+        getattr(root_procs[pid], "proposal", None) for pid in sorted(root_procs)
+    )
+    state = _State(
+        procs=root_procs,
+        active=set(root_procs),
+        crashes_used=0,
+        decided_values=set(),
+        round_no=0,
+    )
+    initial = _reachable_values(state, config)
+    steps: list[ChainStep] = []
+    current = initial
+
+    while len(current) >= 2 and state.round_no < config.max_rounds and state.active:
+        scratch = copy.deepcopy(state.procs)
+        plans = {}
+        for pid in sorted(state.active):
+            plan = scratch[pid].send_phase(state.round_no + 1)
+            plans[pid] = (tuple(sorted(plan.data.keys())), plan.control)
+        chosen: tuple[CrashEvent, ...] | None = None
+        chosen_state: _State | None = None
+        chosen_reach: frozenset | None = None
+        for combo in _actions(state, plans, config):
+            child = _apply(state, combo)
+            # Values decided during this very round are locked into every
+            # extension, so they belong to the child's reachable set.
+            reach = _reachable_values(child, config)
+            if len(reach) >= 2:
+                chosen, chosen_state, chosen_reach = combo, child, reach
+                break
+        if chosen is None:
+            break
+        state = chosen_state
+        current = chosen_reach
+        steps.append(
+            ChainStep(
+                round_no=state.round_no,
+                action=chosen,
+                reachable_after=chosen_reach,
+            )
+        )
+
+    return ChainReport(
+        proposals=proposals,
+        initial_reachable=initial,
+        steps=tuple(steps),
+        final_reachable=current,
+    )

@@ -1,0 +1,108 @@
+"""Valency analysis — the vocabulary of the Theorem 3 proof, executable.
+
+Aguilera–Toueg's bivalency proof (which Theorem 3 transplants into the
+extended model) revolves around the *valency* of a configuration: the set
+of values decidable in some extension of it.  A configuration is
+
+* **bivalent** if two different values are still reachable,
+* **univalent** (0-valent / 1-valent) if only one is.
+
+The proof shows (1) some initial configuration of any algorithm is
+bivalent, and (2) a too-fast algorithm lets the adversary keep a bivalent
+configuration alive one round per crash — contradiction with deciding.
+
+With the exhaustive :class:`~repro.lowerbound.explorer.Explorer` the
+valency of an *initial* configuration is directly computable: it is the
+set of reachable decisions over the whole run tree.  The helpers here
+package that computation and the paper's two observations:
+
+* :func:`initial_valency` — valency of one proposal vector;
+* :func:`find_bivalent_initial` — search proposal vectors for a bivalent
+  one (exists whenever proposals are not all equal and ``t >= 1``, the
+  premise of step (1));
+* :func:`valency_spectrum` — valency of every binary proposal vector, the
+  data behind the E4 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.lowerbound.explorer import ExplorationConfig, Explorer
+from repro.sync.api import SyncProcess
+
+__all__ = [
+    "ValencyReport",
+    "initial_valency",
+    "find_bivalent_initial",
+    "valency_spectrum",
+]
+
+ProcessFactory = Callable[[Sequence[Any]], Mapping[int, SyncProcess]]
+
+
+@dataclass(frozen=True, slots=True)
+class ValencyReport:
+    """Valency of one initial configuration."""
+
+    proposals: tuple[Any, ...]
+    reachable: frozenset
+    leaves: int
+
+    @property
+    def bivalent(self) -> bool:
+        return len(self.reachable) >= 2
+
+    @property
+    def univalent(self) -> bool:
+        return len(self.reachable) == 1
+
+
+def initial_valency(
+    factory: ProcessFactory,
+    proposals: Sequence[Any],
+    config: ExplorationConfig,
+) -> ValencyReport:
+    """Compute the decision values reachable from this initial configuration."""
+    report = Explorer(lambda: factory(proposals), config).explore()
+    return ValencyReport(
+        proposals=tuple(proposals),
+        reachable=frozenset(report.reachable_decisions),
+        leaves=report.leaves,
+    )
+
+
+def find_bivalent_initial(
+    factory: ProcessFactory,
+    n: int,
+    config: ExplorationConfig,
+    values: tuple[Any, Any] = (0, 1),
+) -> ValencyReport | None:
+    """First bivalent binary initial configuration, or None.
+
+    Scans proposal vectors in lexicographic order, skipping the two
+    constant vectors (validity forces them univalent for any algorithm).
+    """
+    lo, hi = values
+    for mask in range(1, 2**n - 1):
+        proposals = [hi if mask & (1 << (pid - 1)) else lo for pid in range(1, n + 1)]
+        report = initial_valency(factory, proposals, config)
+        if report.bivalent:
+            return report
+    return None
+
+
+def valency_spectrum(
+    factory: ProcessFactory,
+    n: int,
+    config: ExplorationConfig,
+    values: tuple[Any, Any] = (0, 1),
+) -> list[ValencyReport]:
+    """Valency of every binary proposal vector (2^n entries)."""
+    lo, hi = values
+    out = []
+    for mask in range(2**n):
+        proposals = [hi if mask & (1 << (pid - 1)) else lo for pid in range(1, n + 1)]
+        out.append(initial_valency(factory, proposals, config))
+    return out

@@ -1,0 +1,16 @@
+"""Message substrate: payloads, messages, accounting, FIFO channels."""
+
+from repro.net.accounting import MessageStats
+from repro.net.channel import ChannelNetwork, FifoChannel
+from repro.net.message import Message, MessageKind
+from repro.net.payload import SizedValue, bit_size
+
+__all__ = [
+    "MessageStats",
+    "ChannelNetwork",
+    "FifoChannel",
+    "Message",
+    "MessageKind",
+    "SizedValue",
+    "bit_size",
+]

@@ -1,0 +1,104 @@
+"""Per-run message and bit accounting.
+
+Theorem 2 (bit complexity) is reproduced by instrumenting every engine with
+a :class:`MessageStats` sink.  Sends and deliveries are counted separately:
+a message *sent* by a process that crashed mid-step may never be
+*delivered*, and the paper's worst-case bound counts transmitted messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.message import Message, MessageKind
+
+__all__ = ["MessageStats"]
+
+
+@dataclass(slots=True)
+class MessageStats:
+    """Mutable counters for one simulated run."""
+
+    data_sent: int = 0
+    data_delivered: int = 0
+    control_sent: int = 0
+    control_delivered: int = 0
+    async_sent: int = 0
+    async_delivered: int = 0
+    marker_sent: int = 0
+    marker_delivered: int = 0
+    bits_sent: int = 0
+    bits_delivered: int = 0
+
+    def on_send(self, msg: Message) -> None:
+        """Record a transmission attempt that reached the wire."""
+        self._bump(msg, sent=True)
+
+    def on_deliver(self, msg: Message) -> None:
+        """Record a successful delivery."""
+        self._bump(msg, sent=False)
+
+    def _bump(self, msg: Message, sent: bool) -> None:
+        bits = msg.bits()
+        if sent:
+            self.bits_sent += bits
+        else:
+            self.bits_delivered += bits
+        if msg.kind is MessageKind.DATA:
+            if sent:
+                self.data_sent += 1
+            else:
+                self.data_delivered += 1
+        elif msg.kind is MessageKind.CONTROL:
+            if sent:
+                self.control_sent += 1
+            else:
+                self.control_delivered += 1
+        elif msg.kind is MessageKind.MARKER:
+            if sent:
+                self.marker_sent += 1
+            else:
+                self.marker_delivered += 1
+        else:
+            if sent:
+                self.async_sent += 1
+            else:
+                self.async_delivered += 1
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages that reached the wire, any kind."""
+        return self.data_sent + self.control_sent + self.async_sent + self.marker_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        """Total messages delivered, any kind."""
+        return (
+            self.data_delivered
+            + self.control_delivered
+            + self.async_delivered
+            + self.marker_delivered
+        )
+
+    def merge(self, other: "MessageStats") -> None:
+        """Accumulate ``other`` into ``self`` (used by sweep aggregation)."""
+        self.data_sent += other.data_sent
+        self.data_delivered += other.data_delivered
+        self.control_sent += other.control_sent
+        self.control_delivered += other.control_delivered
+        self.async_sent += other.async_sent
+        self.async_delivered += other.async_delivered
+        self.marker_sent += other.marker_sent
+        self.marker_delivered += other.marker_delivered
+        self.bits_sent += other.bits_sent
+        self.bits_delivered += other.bits_delivered
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"data {self.data_sent}/{self.data_delivered} "
+            f"ctrl {self.control_sent}/{self.control_delivered} "
+            f"async {self.async_sent}/{self.async_delivered} "
+            f"bits {self.bits_sent}/{self.bits_delivered} (sent/delivered)"
+        )

@@ -1,0 +1,110 @@
+"""Reliable FIFO channels.
+
+The synchronous engines do not need explicit channel objects (round
+semantics subsume them), but the asynchronous simulator and the
+Chandy–Lamport snapshot substrate do: markers separate the messages sent
+before them from those sent after *on each channel*, which is only
+meaningful with per-channel FIFO order.
+
+A :class:`FifoChannel` is reliable (no loss, duplication, creation or
+alteration — the paper's communication assumption) and ordered.  The
+:class:`ChannelNetwork` owns the full ``n × (n-1)`` directed channel matrix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.message import Message
+
+__all__ = ["FifoChannel", "ChannelNetwork"]
+
+
+class FifoChannel:
+    """One directed, reliable, FIFO channel ``sender -> dest``."""
+
+    __slots__ = ("sender", "dest", "_queue", "delivered_count")
+
+    def __init__(self, sender: int, dest: int) -> None:
+        if sender == dest:
+            raise ConfigurationError("no self-channels in the model")
+        self.sender = sender
+        self.dest = dest
+        self._queue: deque[Message] = deque()
+        self.delivered_count = 0
+
+    def send(self, msg: Message) -> None:
+        """Append ``msg`` to the channel (tail)."""
+        if msg.sender != self.sender or msg.dest != self.dest:
+            raise SimulationError(
+                f"message {msg} enqueued on channel {self.sender}->{self.dest}"
+            )
+        self._queue.append(msg)
+
+    def deliver(self) -> Message:
+        """Pop and return the head message (FIFO)."""
+        if not self._queue:
+            raise SimulationError(f"deliver() on empty channel {self.sender}->{self.dest}")
+        self.delivered_count += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Message | None:
+        """Head message without removing it, or ``None`` if empty."""
+        return self._queue[0] if self._queue else None
+
+    @property
+    def in_transit(self) -> tuple[Message, ...]:
+        """Snapshot of the messages currently in the channel, head first."""
+        return tuple(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+
+class ChannelNetwork:
+    """The complete directed channel matrix over processes ``1..n``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ConfigurationError(f"a network needs >= 2 processes, got n={n}")
+        self.n = n
+        self._channels: dict[tuple[int, int], FifoChannel] = {
+            (i, j): FifoChannel(i, j)
+            for i in range(1, n + 1)
+            for j in range(1, n + 1)
+            if i != j
+        }
+
+    def channel(self, sender: int, dest: int) -> FifoChannel:
+        """The directed channel ``sender -> dest``."""
+        try:
+            return self._channels[(sender, dest)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no channel {sender}->{dest} in a {self.n}-process network"
+            ) from None
+
+    def send(self, msg: Message) -> None:
+        """Route ``msg`` onto its channel."""
+        self.channel(msg.sender, msg.dest).send(msg)
+
+    def incoming(self, dest: int) -> list[FifoChannel]:
+        """All channels into ``dest``, ordered by sender id."""
+        return [self._channels[(i, dest)] for i in range(1, self.n + 1) if i != dest]
+
+    def outgoing(self, sender: int) -> list[FifoChannel]:
+        """All channels out of ``sender``, ordered by destination id."""
+        return [self._channels[(sender, j)] for j in range(1, self.n + 1) if j != sender]
+
+    def nonempty(self) -> list[FifoChannel]:
+        """Channels currently holding at least one message."""
+        return [c for c in self._channels.values() if c]
+
+    def total_in_transit(self) -> int:
+        """Total queued messages across all channels."""
+        return sum(len(c) for c in self._channels.values())

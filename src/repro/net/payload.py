@@ -1,0 +1,82 @@
+"""Payload bit-sizing.
+
+Theorem 2 of the paper counts bits: a DATA message costs ``|v|`` bits (the
+proposed-value width) and a COMMIT message costs exactly **one** bit (a pure
+signal; the paper notes a receiver distinguishes the two by size).  To
+reproduce the bit-complexity table we need a deterministic bit size for
+every payload the algorithms send.
+
+:func:`bit_size` implements a conservative, documented encoding:
+
+* ``None``                     → 0 bits (pure signal)
+* ``bool``                     → 1 bit
+* ``int``                      → max(1, bit_length) + 1 sign bit
+* ``float``                    → 64 bits
+* ``str`` / ``bytes``          → 8 bits per byte (UTF-8 for str)
+* ``tuple`` / ``list``         → sum of elements + 8 bits length framing
+* ``dict``                     → sum of key+value sizes + 8 bits framing
+* objects with ``bit_size()``  → whatever they report
+
+Algorithms may also send :class:`SizedValue` to model an application value
+of a *fixed declared width* (e.g. "a 1024-bit proposal") irrespective of the
+Python object used to carry it — this is what the E2 benchmark uses to sweep
+``|v|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = ["bit_size", "SizedValue"]
+
+
+@dataclass(frozen=True, slots=True)
+class SizedValue:
+    """A consensus value with an explicitly declared bit width.
+
+    ``value`` is the logical payload (compared with ``==`` by algorithms);
+    ``bits`` is the width charged by the accounting layer.
+    """
+
+    value: Any
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ConfigurationError(f"SizedValue width must be >= 1 bit, got {self.bits}")
+
+    def bit_size(self) -> int:
+        return self.bits
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.value}<{self.bits}b>"
+
+
+def bit_size(payload: Any) -> int:
+    """Number of bits charged for sending ``payload`` (see module docs)."""
+    if payload is None:
+        return 0
+    size_method = getattr(payload, "bit_size", None)
+    if callable(size_method):
+        return int(size_method())
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length()) + 1
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return 8 * len(payload.encode("utf-8"))
+    if isinstance(payload, bytes):
+        return 8 * len(payload)
+    if isinstance(payload, (tuple, list, frozenset, set)):
+        return 8 + sum(bit_size(x) for x in payload)
+    if isinstance(payload, dict):
+        return 8 + sum(bit_size(k) + bit_size(v) for k, v in payload.items())
+    raise ConfigurationError(
+        f"cannot size payload of type {type(payload).__name__}; "
+        "give it a bit_size() method or wrap it in SizedValue"
+    )

@@ -1,0 +1,14 @@
+"""Replicated state machine on top of multi-shot Figure-1 consensus."""
+
+from repro.rsm.log import ReplicatedLog, ReplicaState, SlotResult
+from repro.rsm.machine import Command, Counter, KVStore, StateMachine
+
+__all__ = [
+    "ReplicatedLog",
+    "ReplicaState",
+    "SlotResult",
+    "Command",
+    "Counter",
+    "KVStore",
+    "StateMachine",
+]

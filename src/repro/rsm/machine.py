@@ -1,0 +1,105 @@
+"""State machines replicated by the consensus log.
+
+The paper motivates consensus as the primitive that turns "a set of
+independent applications" into one fault-tolerant application; the classic
+construction is state-machine replication: agree on a totally ordered log
+of commands, apply them deterministically everywhere.  This module defines
+the command/state-machine vocabulary; :mod:`repro.rsm.log` builds the log
+out of repeated Figure-1 consensus instances.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Command", "StateMachine", "KVStore", "Counter"]
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """One client command entering the replicated log.
+
+    ``origin`` is the replica that proposed it; ``op`` is the operation
+    string interpreted by the state machine (machine-specific syntax).
+    """
+
+    origin: int
+    op: str
+
+    def bit_size(self) -> int:
+        """Wire width when a command rides in a DATA message."""
+        return 16 + 8 * len(self.op.encode("utf-8"))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"p{self.origin}:{self.op}"
+
+
+class StateMachine(abc.ABC):
+    """A deterministic state machine (one instance per replica)."""
+
+    @abc.abstractmethod
+    def apply(self, command: Command) -> Any:
+        """Apply one command; returns the op's result (machine-specific)."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> Any:
+        """Serializable view of the current state."""
+
+    def digest(self) -> str:
+        """Stable fingerprint of the state; equal digests ⇒ equal state."""
+        return hashlib.sha256(repr(self.snapshot()).encode("utf-8")).hexdigest()[:16]
+
+
+class KVStore(StateMachine):
+    """A tiny key-value store: ``set k v`` / ``del k`` / ``noop``."""
+
+    def __init__(self) -> None:
+        self.data: dict[str, str] = {}
+
+    def apply(self, command: Command) -> Any:
+        parts = command.op.split()
+        if not parts:
+            raise ConfigurationError("empty command")
+        verb = parts[0]
+        if verb == "set":
+            if len(parts) != 3:
+                raise ConfigurationError(f"set needs 2 args: {command.op!r}")
+            self.data[parts[1]] = parts[2]
+            return parts[2]
+        if verb == "del":
+            if len(parts) != 2:
+                raise ConfigurationError(f"del needs 1 arg: {command.op!r}")
+            return self.data.pop(parts[1], None)
+        if verb == "noop":
+            return None
+        raise ConfigurationError(f"unknown op {verb!r}")
+
+    def snapshot(self) -> Any:
+        return tuple(sorted(self.data.items()))
+
+
+class Counter(StateMachine):
+    """An integer register: ``add k`` / ``sub k`` / ``noop``."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def apply(self, command: Command) -> Any:
+        parts = command.op.split()
+        if parts[0] == "add":
+            self.value += int(parts[1])
+        elif parts[0] == "sub":
+            self.value -= int(parts[1])
+        elif parts[0] == "noop":
+            pass
+        else:
+            raise ConfigurationError(f"unknown op {parts[0]!r}")
+        return self.value
+
+    def snapshot(self) -> Any:
+        return self.value

@@ -1,0 +1,21 @@
+"""Cross-model simulations (Section 2.2 computability equivalence)."""
+
+from repro.simulation.classic_on_extended import (
+    ClassicOnExtended,
+    run_classic_on_extended,
+)
+from repro.simulation.extended_on_classic import (
+    CTRL,
+    ExtendedOnClassic,
+    run_extended_on_classic,
+    translate_schedule,
+)
+
+__all__ = [
+    "ClassicOnExtended",
+    "run_classic_on_extended",
+    "CTRL",
+    "ExtendedOnClassic",
+    "run_extended_on_classic",
+    "translate_schedule",
+]

@@ -1,0 +1,65 @@
+"""Simulating the classic model on top of the extended model.
+
+This direction is trivial — "if we suppress the second sending step we
+obtain the traditional synchronous model" (Section 2.2) — so the embedding
+is the identity: a classic process already emits empty control sequences
+and runs unchanged on the extended engine.  The wrapper below exists to
+make the embedding explicit and to *enforce* classicness (a process that
+does emit control destinations is rejected rather than silently granted
+extended-model power).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ModelViolationError
+from repro.sync.api import RoundInbox, SendPlan, SyncProcess
+from repro.sync.crash import CrashSchedule
+from repro.sync.extended import ExtendedSynchronousEngine
+from repro.sync.result import RunResult
+from repro.util.rng import RandomSource
+
+__all__ = ["ClassicOnExtended", "run_classic_on_extended"]
+
+
+class ClassicOnExtended(SyncProcess):
+    """Identity embedding that polices the no-control-messages rule."""
+
+    def __init__(self, inner: SyncProcess) -> None:
+        super().__init__(inner.pid, inner.n)
+        self.inner = inner
+        self.proposal = getattr(inner, "proposal", None)
+
+    def send_phase(self, round_no: int) -> SendPlan:
+        plan = self.inner.send_phase(round_no)
+        if plan.control:
+            raise ModelViolationError(
+                f"p{self.pid}: classic process attempted control messages"
+            )
+        return plan
+
+    def compute_phase(self, round_no: int, inbox: RoundInbox) -> None:
+        self.inner.compute_phase(round_no, inbox)
+        if self.inner.decided:
+            self.decide(self.inner.decision)
+
+
+def run_classic_on_extended(
+    inner_factory: Callable[[], Sequence[SyncProcess]],
+    schedule: CrashSchedule | None = None,
+    *,
+    t: int | None = None,
+    rng: RandomSource | None = None,
+    max_rounds: int | None = None,
+) -> RunResult:
+    """Run classic-model processes unchanged on the extended engine."""
+    inners = list(inner_factory())
+    wrapped = [ClassicOnExtended(p) for p in inners]
+    engine = ExtendedSynchronousEngine(
+        wrapped,
+        schedule,
+        t=t if t is not None else inners[0].n - 1,
+        rng=rng,
+    )
+    return engine.run(max_rounds)

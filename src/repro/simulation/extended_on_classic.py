@@ -1,0 +1,179 @@
+"""Simulating the extended model on top of the classic model.
+
+Section 2.2's computability argument: the extended model adds no power —
+"sending each control message in separate consecutive rounds provides a
+(non-efficient) simulation" on the classic model.  The separate rounds are
+what preserve the *ordered-prefix* crash semantics: if each control
+position occupies its own classic round, a crash between rounds cuts the
+sequence exactly at a position boundary, and a crash during one position's
+round delivers-or-drops that single 1-bit message — together, an ordered
+prefix.
+
+Block layout: one extended round becomes ``B = n`` classic rounds —
+
+* position 0: the extended round's *data step* (all data messages);
+* positions 1..n-1: control-sequence positions 0..n-2, one per round,
+  carried as 1-bit classic data messages (:data:`CTRL`).
+
+The wrapped process's computation phase runs once per block, at the block
+end, fed with everything the block delivered — matching the extended
+model's "messages of round r are received in round r, computation last".
+A process crashed anywhere inside a block never reaches the block end, so
+(as in the extended model) it neither computes nor decides in its crash
+round; classic deliveries it absorbed mid-block die in the adapter's
+buffer without touching the wrapped state.
+
+Cost: a ``(f+1)``-round extended algorithm needs ``(f+1)·n`` classic
+rounds this way — the E7 benchmark measures exactly this blow-up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.payload import SizedValue
+from repro.sync.api import NO_SEND, RoundInbox, SendPlan, SyncProcess
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule, Prefix, Subset
+from repro.sync.engine import ClassicSynchronousEngine
+from repro.sync.result import RunResult
+from repro.util.rng import RandomSource
+
+__all__ = [
+    "CTRL",
+    "ExtendedOnClassic",
+    "translate_schedule",
+    "run_extended_on_classic",
+]
+
+#: The 1-bit stand-in for a control message on a classic channel.
+CTRL = SizedValue("ctrl", 1)
+
+
+class ExtendedOnClassic(SyncProcess):
+    """Adapter: one extended-model process driven by a classic engine."""
+
+    def __init__(self, inner: SyncProcess) -> None:
+        super().__init__(inner.pid, inner.n)
+        self.inner = inner
+        self.proposal = getattr(inner, "proposal", None)
+        self.block = inner.n  # classic rounds per extended round
+        self._plan: SendPlan = NO_SEND
+        self._data_in: dict[int, Any] = {}
+        self._control_in: set[int] = set()
+
+    # -- round geometry --------------------------------------------------------
+
+    def _position(self, classic_round: int) -> tuple[int, int]:
+        """Map a classic round to (extended_round, position-in-block)."""
+        return (classic_round - 1) // self.block + 1, (classic_round - 1) % self.block
+
+    # -- classic hooks ------------------------------------------------------------
+
+    def send_phase(self, classic_round: int) -> SendPlan:
+        ext_round, pos = self._position(classic_round)
+        if pos == 0:
+            # Extended data step: query the wrapped process once per block.
+            self._plan = self.inner.send_phase(ext_round)
+            self._plan.validate(self.pid, self.n, allow_control=True)
+            if self._plan.data:
+                return SendPlan(data=dict(self._plan.data))
+            return NO_SEND
+        k = pos - 1  # control-sequence position carried by this round
+        if k < len(self._plan.control):
+            return SendPlan(data={self._plan.control[k]: CTRL})
+        return NO_SEND
+
+    def compute_phase(self, classic_round: int, inbox: RoundInbox) -> None:
+        ext_round, pos = self._position(classic_round)
+        if pos == 0:
+            self._data_in = dict(inbox.data)
+        else:
+            # Control rounds carry only CTRL signals.
+            self._control_in.update(inbox.data.keys())
+        if pos == self.block - 1:
+            merged = RoundInbox(
+                data=self._data_in, control=frozenset(self._control_in)
+            )
+            self._data_in, self._control_in = {}, set()
+            self.inner.compute_phase(ext_round, merged)
+            if self.inner.decided:
+                self.decide(self.inner.decision)
+
+
+def translate_schedule(schedule: CrashSchedule, n: int) -> CrashSchedule:
+    """Translate an extended-model crash schedule into block coordinates.
+
+    ``DURING_CONTROL`` events need an explicit ``control_prefix`` (a random
+    prefix has no meaning before the block's plan exists); the prefix ``k``
+    becomes a BEFORE_SEND crash in the classic round carrying position
+    ``k`` — deliveries of positions ``0..k-1`` happened in earlier rounds.
+    """
+    block = n
+    events = []
+    for ev in schedule.events.values():
+        base = (ev.round_no - 1) * block + 1
+        if ev.point is CrashPoint.BEFORE_SEND:
+            events.append(CrashEvent(ev.pid, base, CrashPoint.BEFORE_SEND))
+        elif ev.point is CrashPoint.DURING_DATA:
+            events.append(
+                CrashEvent(
+                    ev.pid,
+                    base,
+                    CrashPoint.DURING_DATA,
+                    data_subset=ev.data_subset,
+                    data_policy=ev.data_policy,
+                )
+            )
+        elif ev.point is CrashPoint.DURING_CONTROL:
+            if ev.control_prefix is None and ev.control_policy is Prefix.RANDOM:
+                raise ConfigurationError(
+                    "translate_schedule needs explicit control prefixes "
+                    "(random prefixes have no static block coordinate)"
+                )
+            prefix = (
+                ev.control_prefix
+                if ev.control_prefix is not None
+                else (0 if ev.control_policy is Prefix.NONE else block - 1)
+            )
+            if prefix >= block - 1:
+                # Every control position delivered: equivalent to dying
+                # right after the send phase — everything out, no
+                # block-end computation (and hence no decision).
+                events.append(
+                    CrashEvent(ev.pid, base + block - 1, CrashPoint.AFTER_SEND)
+                )
+            else:
+                events.append(
+                    CrashEvent(ev.pid, base + 1 + prefix, CrashPoint.BEFORE_SEND)
+                )
+        else:  # AFTER_SEND: everything of the block sent, no block-end compute
+            events.append(
+                CrashEvent(ev.pid, base + block - 1, CrashPoint.AFTER_SEND)
+            )
+    return CrashSchedule(events)
+
+
+def run_extended_on_classic(
+    inner_factory: Callable[[], Sequence[SyncProcess]],
+    schedule: CrashSchedule | None = None,
+    *,
+    t: int | None = None,
+    rng: RandomSource | None = None,
+    max_extended_rounds: int | None = None,
+) -> RunResult:
+    """Run extended-model processes on the classic engine via the adapter."""
+    inners = list(inner_factory())
+    n = inners[0].n
+    adapters = [ExtendedOnClassic(p) for p in inners]
+    classic_schedule = (
+        translate_schedule(schedule, n) if schedule is not None else None
+    )
+    horizon = (max_extended_rounds if max_extended_rounds is not None else n + 1) * n
+    engine = ClassicSynchronousEngine(
+        adapters,
+        classic_schedule,
+        t=t if t is not None else n - 1,
+        rng=rng,
+    )
+    return engine.run(max_rounds=horizon)

@@ -1,0 +1,5 @@
+"""Chandy–Lamport snapshots (related-work synchronization-message exemplar)."""
+
+from repro.snapshot.chandy_lamport import SnapshotRecord, TransferSystem
+
+__all__ = ["SnapshotRecord", "TransferSystem"]

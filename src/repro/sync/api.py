@@ -1,0 +1,154 @@
+"""Process-facing API of the round-based synchronous models.
+
+A :class:`SyncProcess` is driven by an engine through exactly two hooks per
+round:
+
+1. :meth:`SyncProcess.send_phase` — returns a :class:`SendPlan`: the data
+   messages (dest → payload) and the *ordered* control-message destination
+   sequence for this round.  The engine calls it **before** delivering
+   anything, which structurally enforces the model rule that a round's
+   outgoing messages may depend only on previous rounds ("no local
+   computation is allowed to take place between the two sending steps").
+
+2. :meth:`SyncProcess.compute_phase` — receives a :class:`RoundInbox` with
+   everything delivered to the process this round and performs the round's
+   local computation, possibly calling :meth:`SyncProcess.decide`.
+
+Deciding models the paper's ``return`` statement: the process terminates and
+takes no further part in the run.  The classic model is the special case in
+which every plan has an empty control sequence (engines enforce this).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError, ModelViolationError
+
+__all__ = ["SendPlan", "RoundInbox", "SyncProcess", "NO_SEND"]
+
+
+@dataclass(frozen=True, slots=True)
+class SendPlan:
+    """What one process intends to send in one round.
+
+    Attributes
+    ----------
+    data:
+        Mapping destination id → payload for the data step.  At most one
+        data message per channel per round (model invariant).
+    control:
+        Ordered tuple of destination ids for the control step.  Order
+        matters: on a crash during this step, an *ordered prefix* is
+        delivered.  At most one control message per channel per round, so
+        destinations must be distinct.
+    """
+
+    data: Mapping[int, Any] = field(default_factory=dict)
+    control: tuple[int, ...] = ()
+
+    def validate(self, pid: int, n: int, allow_control: bool) -> None:
+        """Check the plan against model rules; raise on violation."""
+        for dest in self.data:
+            if not (1 <= dest <= n) or dest == pid:
+                raise ModelViolationError(
+                    f"p{pid}: invalid data destination {dest} (n={n})"
+                )
+        if self.control:
+            if not allow_control:
+                raise ModelViolationError(
+                    f"p{pid}: control messages are not part of the classic model"
+                )
+            if len(set(self.control)) != len(self.control):
+                raise ModelViolationError(
+                    f"p{pid}: duplicate control destinations {self.control}"
+                )
+            for dest in self.control:
+                if not (1 <= dest <= n) or dest == pid:
+                    raise ModelViolationError(
+                        f"p{pid}: invalid control destination {dest} (n={n})"
+                    )
+
+
+#: Shared empty plan for rounds in which a process stays silent.
+NO_SEND = SendPlan()
+
+
+@dataclass(frozen=True, slots=True)
+class RoundInbox:
+    """Everything delivered to one process in one round.
+
+    Attributes
+    ----------
+    data:
+        sender id → payload, for data messages received this round.
+    control:
+        ids of processes whose control (synchronization) message arrived.
+    """
+
+    data: Mapping[int, Any] = field(default_factory=dict)
+    control: frozenset[int] = frozenset()
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing at all was received this round."""
+        return not self.data and not self.control
+
+
+class SyncProcess(abc.ABC):
+    """Base class for processes of the (classic or extended) round model.
+
+    Subclasses implement :meth:`send_phase` and :meth:`compute_phase`.
+    State must live in instance attributes so runs can be snapshotted by
+    the lower-bound explorer via ``copy.deepcopy``.
+    """
+
+    def __init__(self, pid: int, n: int) -> None:
+        if not 1 <= pid <= n:
+            raise ConfigurationError(f"pid must be in 1..{n}, got {pid}")
+        if n < 2:
+            raise ConfigurationError(f"need at least 2 processes, got n={n}")
+        self.pid = pid
+        self.n = n
+        self._decision: Any = None
+        self._decided = False
+        self._decision_round = 0
+
+    # -- hooks ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def send_phase(self, round_no: int) -> SendPlan:
+        """Produce this round's :class:`SendPlan` (may not inspect inbox)."""
+
+    @abc.abstractmethod
+    def compute_phase(self, round_no: int, inbox: RoundInbox) -> None:
+        """Consume this round's :class:`RoundInbox`; may call :meth:`decide`."""
+
+    # -- decision ---------------------------------------------------------
+
+    def decide(self, value: Any) -> None:
+        """Decide ``value`` (the paper's ``return``); idempotence not allowed.
+
+        The engine observes the decision after the hook returns, records the
+        round, and removes the process from the run.
+        """
+        if self._decided:
+            raise ModelViolationError(f"p{self.pid} decided twice")
+        self._decided = True
+        self._decision = value
+
+    @property
+    def decided(self) -> bool:
+        """Whether :meth:`decide` has been called."""
+        return self._decided
+
+    @property
+    def decision(self) -> Any:
+        """The decided value (only meaningful when :attr:`decided`)."""
+        return self._decision
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"decided={self._decision!r}" if self._decided else "running"
+        return f"{type(self).__name__}(pid={self.pid}, n={self.n}, {state})"

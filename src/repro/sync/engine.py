@@ -1,0 +1,321 @@
+"""Round engines for the classic and extended synchronous models.
+
+The full round pipeline (Section 2.1 of the paper) is implemented once in
+:func:`execute_round`, shared by both engine classes and by the
+lower-bound explorer (which calls it on deep-copied process states while
+enumerating adversary choices):
+
+1. **Plan** — every live, undecided process produces its
+   :class:`~repro.sync.api.SendPlan` *before any delivery*, enforcing the
+   rule that round-``r`` messages depend only on rounds ``< r``.
+2. **Resolve crashes** — the crash events scheduled for this round are
+   resolved against the actual plans into concrete delivered
+   subsets/prefixes (:class:`~repro.sync.crash.ResolvedCrash`).
+3. **Deliver** — data messages first, then control messages in plan order
+   (prefix-truncated for crashing senders).  Receivers that crash this
+   round, already crashed, or already decided receive nothing.
+4. **Compute** — every live, non-crashing, undecided process consumes its
+   :class:`~repro.sync.api.RoundInbox`; new decisions are collected.
+
+Message accounting: a message is *sent* if it escaped the crashing process
+(i.e. will be delivered to a live receiver or would have been, had the
+receiver been up) and *delivered* if a live, undecided, non-crashing
+process actually consumed it.  Sends addressed to processes that already
+crashed/decided still count as sent — the sender cannot know.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.accounting import MessageStats
+from repro.net.message import Message, MessageKind
+from repro.sync.api import RoundInbox, SendPlan, SyncProcess
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule, ResolvedCrash
+from repro.sync.result import ProcessOutcome, RunResult
+from repro.util.rng import RandomSource
+from repro.util.trace import Trace
+
+__all__ = [
+    "RoundOutcome",
+    "execute_round",
+    "SynchronousEngine",
+    "ClassicSynchronousEngine",
+]
+
+
+@dataclass(slots=True)
+class RoundOutcome:
+    """What happened in one executed round."""
+
+    round_no: int
+    plans: dict[int, SendPlan]
+    resolved_crashes: dict[int, ResolvedCrash]
+    inboxes: dict[int, RoundInbox]
+    new_decisions: dict[int, Any]
+
+
+def execute_round(
+    procs: Mapping[int, SyncProcess],
+    active: set[int],
+    round_no: int,
+    crash_events: Mapping[int, CrashEvent],
+    *,
+    allow_control: bool,
+    stats: MessageStats,
+    trace: Trace,
+    rng: RandomSource | None,
+) -> RoundOutcome:
+    """Execute one round over ``active`` processes; mutates process state.
+
+    ``crash_events`` maps pid → the event scheduled for *this* round (only
+    pids in ``active`` matter; a process that already crashed or decided
+    cannot crash again).  The caller updates the ``active`` set from the
+    returned outcome.
+    """
+    n = next(iter(procs.values())).n if procs else 0
+
+    # Phase 1: collect send plans from every active process.
+    plans: dict[int, SendPlan] = {}
+    for pid in sorted(active):
+        plan = procs[pid].send_phase(round_no)
+        plan.validate(pid, n, allow_control=allow_control)
+        plans[pid] = plan
+
+    # Phase 2: resolve this round's crashes against actual plans.
+    resolved: dict[int, ResolvedCrash] = {}
+    for pid, event in crash_events.items():
+        if pid not in active:
+            continue
+        plan = plans[pid]
+        resolved[pid] = event.resolve(plan.data.keys(), plan.control, rng)
+        trace.record(
+            round_no,
+            "crash",
+            pid,
+            point=event.point.value,
+            data_subset=tuple(sorted(resolved[pid].data_subset)),
+            control_prefix=resolved[pid].control_prefix,
+        )
+
+    crashing = set(resolved)
+    receivers = active - crashing  # crashed processes receive nothing this round
+
+    # Phase 3: deliver.  Data step first, then control step (plan order).
+    data_in: dict[int, dict[int, Any]] = {pid: {} for pid in receivers}
+    control_in: dict[int, set[int]] = {pid: set() for pid in receivers}
+
+    for sender in sorted(active):
+        plan = plans[sender]
+        rc = resolved.get(sender)
+        if rc is None:
+            data_dests = set(plan.data.keys())
+            control_dests = plan.control
+        else:
+            data_dests = set(rc.data_subset)
+            control_dests = plan.control[: rc.control_prefix]
+
+        for dest in sorted(data_dests):
+            msg = Message(
+                MessageKind.DATA, sender, dest, round_no, payload=plan.data[dest]
+            )
+            stats.on_send(msg)
+            if dest in receivers:
+                stats.on_deliver(msg)
+                data_in[dest][sender] = plan.data[dest]
+                trace.record(
+                    round_no, "deliver.data", sender, dest=dest, payload=plan.data[dest]
+                )
+            else:
+                trace.record(
+                    round_no, "drop.data", sender, dest=dest, payload=plan.data[dest]
+                )
+        for dest in control_dests:
+            msg = Message(MessageKind.CONTROL, sender, dest, round_no)
+            stats.on_send(msg)
+            if dest in receivers:
+                stats.on_deliver(msg)
+                control_in[dest].add(sender)
+                trace.record(round_no, "deliver.control", sender, dest=dest)
+            else:
+                trace.record(round_no, "drop.control", sender, dest=dest)
+
+    # Phase 4: receive + compute for the survivors.
+    inboxes: dict[int, RoundInbox] = {}
+    new_decisions: dict[int, Any] = {}
+    for pid in sorted(receivers):
+        inbox = RoundInbox(data=data_in[pid], control=frozenset(control_in[pid]))
+        inboxes[pid] = inbox
+        proc = procs[pid]
+        proc.compute_phase(round_no, inbox)
+        if proc.decided:
+            new_decisions[pid] = proc.decision
+            trace.record(round_no, "decide", pid, value=proc.decision)
+
+    return RoundOutcome(
+        round_no=round_no,
+        plans=plans,
+        resolved_crashes=resolved,
+        inboxes=inboxes,
+        new_decisions=new_decisions,
+    )
+
+
+class SynchronousEngine:
+    """Extended-model engine: two-step send phase with ordered control step.
+
+    Parameters
+    ----------
+    processes:
+        The ``n`` processes, with pids exactly ``1..n`` (any order).
+    schedule:
+        Crash schedule for the run (defaults to failure-free).
+    t:
+        Resilience bound; the schedule must not crash more than ``t``.
+    rng:
+        Source used to resolve RANDOM subset/prefix policies.
+    trace:
+        Set ``False`` to disable event recording (large sweeps).
+    """
+
+    model_name = "extended"
+    allow_control = True
+
+    def __init__(
+        self,
+        processes: list[SyncProcess],
+        schedule: CrashSchedule | None = None,
+        *,
+        t: int | None = None,
+        rng: RandomSource | None = None,
+        trace: bool = True,
+    ) -> None:
+        if not processes:
+            raise ConfigurationError("no processes given")
+        n = processes[0].n
+        pids = sorted(p.pid for p in processes)
+        if pids != list(range(1, n + 1)) or any(p.n != n for p in processes):
+            raise ConfigurationError(
+                f"processes must have pids exactly 1..n with a common n; got {pids}"
+            )
+        self.n = n
+        self.t = n - 1 if t is None else t
+        if not 0 <= self.t < n:
+            raise ConfigurationError(f"t must satisfy 0 <= t < n, got t={self.t}, n={n}")
+        self.procs: dict[int, SyncProcess] = {p.pid: p for p in processes}
+        self.schedule = schedule if schedule is not None else CrashSchedule.none()
+        self.schedule.validate(n, self.t)
+        self.rng = rng
+        self.stats = MessageStats()
+        self.trace = Trace(enabled=trace)
+        self._active: set[int] = set(pids)
+        self._crashed_round: dict[int, int] = {}
+        self._decided_round: dict[int, int] = {}
+        self._proposals: dict[int, Any] = {
+            pid: getattr(p, "proposal", None) for pid, p in self.procs.items()
+        }
+        self._round = 0
+
+    # -- stepping -----------------------------------------------------------
+
+    @property
+    def round_no(self) -> int:
+        """Number of rounds executed so far."""
+        return self._round
+
+    @property
+    def active_pids(self) -> set[int]:
+        """Processes still alive and undecided."""
+        return set(self._active)
+
+    def step(self) -> RoundOutcome:
+        """Execute one round; mutates engine and process state."""
+        if not self._active:
+            raise SimulationError("step() called with no active processes")
+        self._round += 1
+        events = {
+            ev.pid: ev
+            for ev in self.schedule.crashes_in_round(self._round)
+            if ev.pid in self._active
+        }
+        outcome = execute_round(
+            self.procs,
+            self._active,
+            self._round,
+            events,
+            allow_control=self.allow_control,
+            stats=self.stats,
+            trace=self.trace,
+            rng=self.rng,
+        )
+        for pid in outcome.resolved_crashes:
+            self._crashed_round[pid] = self._round
+            self._active.discard(pid)
+        for pid in outcome.new_decisions:
+            self._decided_round[pid] = self._round
+            self._active.discard(pid)
+        return outcome
+
+    def run(self, max_rounds: int | None = None) -> RunResult:
+        """Run until every process decided or crashed, or ``max_rounds``.
+
+        The default budget ``n + 1`` is safely above the paper's ``t + 1``
+        worst case for every algorithm shipped here; exceeding it marks the
+        run ``completed=False`` (the spec checker then reports a
+        termination violation rather than looping forever).
+        """
+        budget = (self.n + 1) if max_rounds is None else max_rounds
+        if budget < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {budget}")
+        while self._active and self._round < budget:
+            self.step()
+        return self.result()
+
+    def result(self) -> RunResult:
+        """Materialize the current :class:`~repro.sync.result.RunResult`."""
+        outcomes: dict[int, ProcessOutcome] = {}
+        for pid, proc in self.procs.items():
+            outcomes[pid] = ProcessOutcome(
+                pid=pid,
+                proposal=self._proposals[pid],
+                decided=proc.decided,
+                decision=proc.decision if proc.decided else None,
+                decided_round=self._decided_round.get(pid, 0),
+                crashed=pid in self._crashed_round,
+                crashed_round=self._crashed_round.get(pid, 0),
+            )
+        return RunResult(
+            n=self.n,
+            t=self.t,
+            model=self.model_name,
+            outcomes=outcomes,
+            rounds_executed=self._round,
+            completed=not self._active,
+            stats=self.stats,
+            trace=self.trace,
+        )
+
+
+class ClassicSynchronousEngine(SynchronousEngine):
+    """Classic model: identical pipeline, control step forbidden.
+
+    Suppressing the second sending step yields exactly the traditional
+    round-based synchronous model (paper, Section 2.2), so the classic
+    engine is the extended engine with ``allow_control=False`` — any plan
+    carrying control destinations raises
+    :class:`~repro.errors.ModelViolationError`.  DURING_CONTROL crash
+    points are rejected up front since the step does not exist.
+    """
+
+    model_name = "classic"
+    allow_control = False
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        for ev in self.schedule.events.values():
+            if ev.point is CrashPoint.DURING_CONTROL:
+                raise ConfigurationError(
+                    f"p{ev.pid}: DURING_CONTROL crash point is not part of the classic model"
+                )

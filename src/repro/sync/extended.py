@@ -1,0 +1,35 @@
+"""The extended synchronous engine (paper, Section 2.1).
+
+The shared round pipeline lives in :mod:`repro.sync.engine`;
+:class:`ExtendedSynchronousEngine` is the canonical name for the
+extended-model configuration (ordered control step enabled, all four crash
+points available).  It exists as its own class so call sites and error
+messages say which model they run under, and so model-specific extension
+points have an obvious home.
+"""
+
+from __future__ import annotations
+
+from repro.sync.engine import SynchronousEngine
+
+__all__ = ["ExtendedSynchronousEngine"]
+
+
+class ExtendedSynchronousEngine(SynchronousEngine):
+    """Round engine with the two-step send phase of the extended model.
+
+    Semantics (Section 2.1 of the paper):
+
+    * send phase = data step, then control step, *pipelined* — plans are
+      collected before any delivery, so no computation can slip between
+      the two steps;
+    * a crash during the data step delivers an arbitrary subset of the
+      planned data messages and no control message;
+    * a crash during the control step delivers all data and an ordered
+      prefix of the control sequence;
+    * messages sent in round ``r`` are received in round ``r``;
+    * all local computation happens in the computation phase.
+    """
+
+    model_name = "extended"
+    allow_control = True

@@ -1,0 +1,95 @@
+"""Run results for synchronous executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.net.accounting import MessageStats
+from repro.util.trace import Trace
+
+__all__ = ["ProcessOutcome", "RunResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessOutcome:
+    """Final state of one process after a run.
+
+    ``decided_round`` / ``crashed_round`` are 0 when the corresponding event
+    did not happen.  A process may have *both* a decision and a later crash
+    only in the degenerate sense of deciding then halting — halting after a
+    decision is normal termination, not recorded as a crash.
+    """
+
+    pid: int
+    proposal: Any
+    decided: bool
+    decision: Any
+    decided_round: int
+    crashed: bool
+    crashed_round: int
+
+    @property
+    def correct(self) -> bool:
+        """A process is *correct in the run* iff it never crashed."""
+        return not self.crashed
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything observable about one synchronous run."""
+
+    n: int
+    t: int
+    model: str  # "classic" | "extended"
+    outcomes: dict[int, ProcessOutcome]
+    rounds_executed: int
+    completed: bool  # False iff max_rounds was hit with live undecided processes
+    stats: MessageStats
+    trace: Trace
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def f(self) -> int:
+        """Actual number of crashes in the run (the paper's ``f``)."""
+        return sum(1 for o in self.outcomes.values() if o.crashed)
+
+    @property
+    def proposals(self) -> dict[int, Any]:
+        """pid → proposed value."""
+        return {pid: o.proposal for pid, o in self.outcomes.items()}
+
+    @property
+    def decisions(self) -> dict[int, Any]:
+        """pid → decided value, for the processes that decided."""
+        return {pid: o.decision for pid, o in self.outcomes.items() if o.decided}
+
+    @property
+    def decision_rounds(self) -> dict[int, int]:
+        """pid → round of decision, for the processes that decided."""
+        return {pid: o.decided_round for pid, o in self.outcomes.items() if o.decided}
+
+    @property
+    def correct_pids(self) -> list[int]:
+        """Ids of processes that never crashed."""
+        return sorted(pid for pid, o in self.outcomes.items() if o.correct)
+
+    @property
+    def crashed_pids(self) -> list[int]:
+        """Ids of processes that crashed."""
+        return sorted(pid for pid, o in self.outcomes.items() if o.crashed)
+
+    @property
+    def last_decision_round(self) -> int:
+        """Largest decision round over all deciders (0 if nobody decided)."""
+        rounds = self.decision_rounds
+        return max(rounds.values()) if rounds else 0
+
+    def summary(self) -> str:
+        """One-line human summary (used in spec-violation messages)."""
+        return (
+            f"{self.model} run n={self.n} t={self.t} f={self.f} "
+            f"rounds={self.rounds_executed} completed={self.completed} "
+            f"decisions={self.decisions} crashed={self.crashed_pids}"
+        )

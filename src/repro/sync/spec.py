@@ -1,0 +1,141 @@
+"""Consensus specification checkers.
+
+The uniform consensus problem (paper, Section 3.1):
+
+* **Termination** — every correct process eventually decides.
+* **Validity** — a decided value was proposed by some process.
+* **Uniform agreement** — no two processes (correct **or faulty**) decide
+  different values.
+
+Plain (non-uniform) agreement restricts the agreement clause to correct
+processes; the library checks both so tests can demonstrate why uniformity
+is the interesting property (a faulty process deciding differently violates
+uniform but not plain agreement).
+
+Checkers either return a list of human-readable violation strings
+(:func:`check_consensus`) or raise :class:`~repro.errors.SpecViolationError`
+with the run summary (:func:`assert_consensus`), which is what tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecViolationError
+from repro.sync.result import RunResult
+
+__all__ = ["SpecReport", "check_consensus", "assert_consensus"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpecReport:
+    """Outcome of checking one run against the consensus spec."""
+
+    violations: tuple[str, ...]
+    early_stopping_bound: int  # the f+1 bound evaluated for this run
+    last_decision_round: int
+
+    @property
+    def ok(self) -> bool:
+        """True when no clause was violated."""
+        return not self.violations
+
+
+def check_consensus(
+    result: RunResult,
+    *,
+    uniform: bool = True,
+    round_bound: int | None = None,
+    require_early_stopping: bool = False,
+) -> SpecReport:
+    """Check ``result`` against the (uniform) consensus specification.
+
+    Parameters
+    ----------
+    uniform:
+        Check uniform agreement (decisions of faulty processes count).
+    round_bound:
+        If given, additionally require ``last decision round <= round_bound``.
+    require_early_stopping:
+        If True, additionally require the paper's Theorem 1 bound: no
+        process decides after round ``f + 1`` where ``f`` is the *actual*
+        number of crashes in the run.
+    """
+    violations: list[str] = []
+    proposals = set()
+    for o in result.outcomes.values():
+        # Proposals may be unhashable in principle; the library's values are
+        # ints/strs/SizedValue, all hashable.
+        proposals.add(o.proposal)
+
+    # Termination: every correct process decided, and the run completed.
+    for pid in result.correct_pids:
+        if not result.outcomes[pid].decided:
+            violations.append(f"termination: correct p{pid} never decided")
+    if not result.completed:
+        violations.append(
+            f"termination: run stopped at round budget with live undecided processes"
+        )
+
+    # Validity: decided values were proposed.
+    for pid, value in result.decisions.items():
+        if value not in proposals:
+            violations.append(
+                f"validity: p{pid} decided {value!r} which nobody proposed"
+            )
+
+    # Agreement.
+    deciders = result.decisions
+    scope = deciders if uniform else {
+        pid: v for pid, v in deciders.items() if result.outcomes[pid].correct
+    }
+    distinct = {}
+    for pid, value in scope.items():
+        distinct.setdefault(value, []).append(pid)
+    if len(distinct) > 1:
+        kind = "uniform agreement" if uniform else "agreement"
+        detail = "; ".join(
+            f"{value!r} by {sorted(pids)}" for value, pids in sorted(
+                distinct.items(), key=lambda kv: str(kv[0])
+            )
+        )
+        violations.append(f"{kind}: conflicting decisions ({detail})")
+
+    # Round bounds.
+    last = result.last_decision_round
+    es_bound = result.f + 1
+    if round_bound is not None and last > round_bound:
+        violations.append(
+            f"round bound: last decision at round {last} > bound {round_bound}"
+        )
+    if require_early_stopping and last > es_bound:
+        violations.append(
+            f"early stopping: last decision at round {last} > f+1 = {es_bound}"
+        )
+
+    return SpecReport(
+        violations=tuple(violations),
+        early_stopping_bound=es_bound,
+        last_decision_round=last,
+    )
+
+
+def assert_consensus(
+    result: RunResult,
+    *,
+    uniform: bool = True,
+    round_bound: int | None = None,
+    require_early_stopping: bool = False,
+) -> SpecReport:
+    """Like :func:`check_consensus` but raises on any violation."""
+    report = check_consensus(
+        result,
+        uniform=uniform,
+        round_bound=round_bound,
+        require_early_stopping=require_early_stopping,
+    )
+    if not report.ok:
+        raise SpecViolationError(
+            "; ".join(report.violations) + f" | {result.summary()}"
+        )
+    return report

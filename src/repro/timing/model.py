@@ -1,0 +1,144 @@
+"""Round-cost model (Section 2.2) and the ``d < D/(f+1)`` crossover.
+
+The paper prices rounds as follows:
+
+* classic round: duration ``D`` (an upper bound on message transfer delay
+  plus local processing);
+* extended round: ``D + d`` where ``d`` is the extra time of the pipelined
+  control send — crucially *not* a message-delay bound, because the two
+  sends are back-to-back on the same channel (footnote 4: the data and
+  control message are pipelined, so the control message rides within the
+  same ``D`` window, adding only its injection time ``d``).
+
+With the algorithms at hand, completion times are:
+
+* extended-model algorithm (this paper):  ``(f+1)(D+d)``
+* classic early-stopping uniform consensus: ``(f+2)D``
+* classic FloodSet: ``(t+1)D``
+* fast-FD consensus (related work [1]):   ``≈ D + f·d_fd``
+
+The extended algorithm beats the classic early-stopping one iff
+``(f+1)(D+d) < (f+2)D  ⟺  d < D/(f+1)`` — "always satisfied for realistic
+values" since failures are rare (``f ∈ {0, 1}`` dominates) and ``d ≪ D``
+on a LAN with reliable links.  :func:`crossover_d` and
+:func:`timing_series` regenerate the paper's comparison as data (E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RoundCost", "crossover_d", "timing_series", "TimingPoint"]
+
+
+@dataclass(frozen=True)
+class RoundCost:
+    """Durations of one round in each model."""
+
+    D: float  # classic round: message delay + processing bound
+    d: float  # extended model's pipelined control-send surcharge
+
+    def __post_init__(self) -> None:
+        if self.D <= 0:
+            raise ConfigurationError(f"D must be > 0, got {self.D}")
+        if self.d < 0:
+            raise ConfigurationError(f"d must be >= 0, got {self.d}")
+
+    # -- per-algorithm completion times ------------------------------------
+
+    def classic_time(self, rounds: int) -> float:
+        """Completion time of ``rounds`` classic rounds."""
+        self._check_rounds(rounds)
+        return rounds * self.D
+
+    def extended_time(self, rounds: int) -> float:
+        """Completion time of ``rounds`` extended rounds."""
+        self._check_rounds(rounds)
+        return rounds * (self.D + self.d)
+
+    def crw_time(self, f: int) -> float:
+        """The paper's algorithm: ``(f+1)(D+d)``."""
+        self._check_f(f)
+        return self.extended_time(f + 1)
+
+    def early_stopping_time(self, f: int, t: int | None = None) -> float:
+        """Classic early-stopping uniform consensus: ``min(f+2, t+1)·D``."""
+        self._check_f(f)
+        rounds = f + 2 if t is None else min(f + 2, t + 1)
+        return self.classic_time(rounds)
+
+    def floodset_time(self, t: int) -> float:
+        """Classic FloodSet: ``(t+1)·D`` regardless of ``f``."""
+        self._check_f(t)
+        return self.classic_time(t + 1)
+
+    def ffd_time(self, f: int, d_fd: float) -> float:
+        """Fast-failure-detector consensus: ``D + f·d_fd`` (+ one detector
+        settle ``d_fd``, per our implementation's takeover-check offset)."""
+        self._check_f(f)
+        if d_fd < 0:
+            raise ConfigurationError("d_fd must be >= 0")
+        return self.D + f * d_fd + d_fd
+
+    # -- comparisons ------------------------------------------------------------
+
+    def extended_wins(self, f: int, t: int | None = None) -> bool:
+        """Is ``(f+1)(D+d) < min(f+2, t+1)·D``?"""
+        return self.crw_time(f) < self.early_stopping_time(f, t)
+
+    @staticmethod
+    def _check_rounds(rounds: int) -> None:
+        if rounds < 0:
+            raise ConfigurationError("rounds must be >= 0")
+
+    @staticmethod
+    def _check_f(f: int) -> None:
+        if f < 0:
+            raise ConfigurationError("f must be >= 0")
+
+
+def crossover_d(D: float, f: int) -> float:
+    """The break-even ``d``: extended wins iff ``d < D/(f+1)``.
+
+    Derivation: ``(f+1)(D+d) < (f+2)D ⟺ (f+1)d < D``.
+    """
+    if D <= 0:
+        raise ConfigurationError("D must be > 0")
+    if f < 0:
+        raise ConfigurationError("f must be >= 0")
+    return D / (f + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class TimingPoint:
+    """One row of the E3 series."""
+
+    d_over_D: float
+    f: int
+    crw: float
+    early_stopping: float
+    extended_wins: bool
+
+
+def timing_series(
+    D: float,
+    f_values: tuple[int, ...] = (0, 1, 2, 4),
+    d_fractions: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5),
+) -> list[TimingPoint]:
+    """The Section 2.2 comparison as a sweep over ``d/D`` and ``f``."""
+    out = []
+    for f in f_values:
+        for frac in d_fractions:
+            cost = RoundCost(D=D, d=frac * D)
+            out.append(
+                TimingPoint(
+                    d_over_D=frac,
+                    f=f,
+                    crw=cost.crw_time(f),
+                    early_stopping=cost.early_stopping_time(f),
+                    extended_wins=cost.extended_wins(f),
+                )
+            )
+    return out

@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG trees, tables, stats, traces."""
+
+from repro.util.rng import RandomSource, derive_seed
+from repro.util.stats import Summary, percentile, summarize
+from repro.util.tables import Table, render_ascii, render_markdown
+from repro.util.trace import Trace, TraceEvent
+
+__all__ = [
+    "RandomSource",
+    "derive_seed",
+    "Summary",
+    "percentile",
+    "summarize",
+    "Table",
+    "render_ascii",
+    "render_markdown",
+    "Trace",
+    "TraceEvent",
+]

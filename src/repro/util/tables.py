@@ -1,0 +1,120 @@
+"""ASCII / Markdown table rendering for benchmark and experiment reports.
+
+The benchmark harness prints every reproduced table with these helpers so
+the output can be pasted straight into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Table", "render_ascii", "render_markdown"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """A small column-typed table with ASCII and Markdown renderers.
+
+    >>> t = Table(["n", "rounds"], title="demo")
+    >>> t.add_row(4, 1)
+    >>> print(t.to_markdown())   # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        if not columns:
+            raise ConfigurationError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ConfigurationError(f"duplicate column names: {list(columns)}")
+        self.columns: tuple[str, ...] = tuple(str(c) for c in columns)
+        self.title = title
+        self.rows: list[tuple[str, ...]] = []
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row given positionally or by column name (not both)."""
+        if values and named:
+            raise ConfigurationError("pass row values positionally or by name, not both")
+        if named:
+            missing = set(self.columns) - set(named)
+            extra = set(named) - set(self.columns)
+            if missing or extra:
+                raise ConfigurationError(
+                    f"row keys mismatch: missing={sorted(missing)} extra={sorted(extra)}"
+                )
+            values = tuple(named[c] for c in self.columns)
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(tuple(_cell(v) for v in values))
+
+    # -- rendering --------------------------------------------------------
+
+    def _widths(self) -> list[int]:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def to_ascii(self) -> str:
+        """Render with box-drawing-free ASCII (stable under any terminal)."""
+        widths = self._widths()
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        out: list[str] = []
+        if self.title:
+            out.append(self.title)
+        out.append(sep)
+        out.append(
+            "|" + "|".join(f" {c.ljust(w)} " for c, w in zip(self.columns, widths)) + "|"
+        )
+        out.append(sep)
+        for row in self.rows:
+            out.append(
+                "|" + "|".join(f" {c.ljust(w)} " for c, w in zip(row, widths)) + "|"
+            )
+        out.append(sep)
+        return "\n".join(out)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured Markdown table."""
+        widths = self._widths()
+        out: list[str] = []
+        if self.title:
+            out.append(f"**{self.title}**")
+            out.append("")
+        out.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)) + " |"
+        )
+        out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for row in self.rows:
+            out.append(
+                "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+            )
+        return "\n".join(out)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def render_ascii(columns: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None) -> str:
+    """One-shot ASCII rendering of ``rows`` under ``columns``."""
+    t = Table(columns, title=title)
+    for row in rows:
+        t.add_row(*row)
+    return t.to_ascii()
+
+
+def render_markdown(columns: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None) -> str:
+    """One-shot Markdown rendering of ``rows`` under ``columns``."""
+    t = Table(columns, title=title)
+    for row in rows:
+        t.add_row(*row)
+    return t.to_markdown()

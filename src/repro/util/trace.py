@@ -1,0 +1,94 @@
+"""Structured event tracing for simulated runs.
+
+Engines optionally record a :class:`Trace` — an append-only list of
+:class:`TraceEvent` — which tests and the lower-bound explorer use to assert
+*how* a result was produced (who crashed when, which messages were dropped,
+which prefix of a control sequence was delivered), not merely the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One timestamped simulation event.
+
+    Attributes
+    ----------
+    round_no:
+        Round in which the event occurred (0 for pre-run events, simulated
+        time bucket for asynchronous runs).
+    kind:
+        Machine-readable event name, e.g. ``"crash"``, ``"deliver.data"``,
+        ``"drop.control"``, ``"decide"``.
+    pid:
+        Primary process involved (sender for sends, the process itself for
+        crash/decide), or 0 when not applicable.
+    detail:
+        Free-form key/value payload (kept small; values must be immutable).
+    """
+
+    round_no: int
+    kind: str
+    pid: int
+    detail: tuple[tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up a detail value by key."""
+        for k, v in self.detail:
+            if k == key:
+                return v
+        return default
+
+
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    __slots__ = ("_events", "enabled")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._events: list[TraceEvent] = []
+        self.enabled = enabled
+
+    def record(self, round_no: int, kind: str, pid: int, **detail: Any) -> None:
+        """Record one event (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(round_no=round_no, kind=kind, pid=pid, detail=tuple(sorted(detail.items())))
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def events(self, kind: str | None = None, pid: int | None = None, round_no: int | None = None) -> list[TraceEvent]:
+        """All events matching the given filters (``None`` = wildcard)."""
+        return [
+            e
+            for e in self._events
+            if (kind is None or e.kind == kind)
+            and (pid is None or e.pid == pid)
+            and (round_no is None or e.round_no == round_no)
+        ]
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind``."""
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering (for debugging failed runs)."""
+        lines = []
+        for e in self._events:
+            kv = " ".join(f"{k}={v!r}" for k, v in e.detail)
+            lines.append(f"[r{e.round_no:>3}] {e.kind:<16} p{e.pid} {kv}")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Workload generators: proposal vectors and crash grids."""
+
+from repro.workloads.crashes import ADVERSARIES, CrashGrid, make_adversary
+from repro.workloads.proposals import (
+    binary_vector,
+    distinct_ints,
+    identical,
+    sized_proposals,
+    skewed,
+)
+
+__all__ = [
+    "ADVERSARIES",
+    "CrashGrid",
+    "make_adversary",
+    "binary_vector",
+    "distinct_ints",
+    "identical",
+    "sized_proposals",
+    "skewed",
+]

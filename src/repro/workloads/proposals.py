@@ -1,0 +1,50 @@
+"""Proposal-vector generators for experiments and tests."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.net.payload import SizedValue
+from repro.util.rng import RandomSource
+
+__all__ = [
+    "distinct_ints",
+    "binary_vector",
+    "sized_proposals",
+    "identical",
+    "skewed",
+]
+
+
+def distinct_ints(n: int, base: int = 100) -> list[int]:
+    """``[base+1, …, base+n]`` — the default everything-distinct workload."""
+    if n < 1:
+        raise ConfigurationError("n must be >= 1")
+    return [base + pid for pid in range(1, n + 1)]
+
+
+def binary_vector(n: int, rng: RandomSource, p_one: float = 0.5) -> list[int]:
+    """Random 0/1 proposals (the lower-bound experiments' alphabet)."""
+    return [1 if rng.bool(p_one) else 0 for _ in range(n)]
+
+
+def sized_proposals(n: int, bits: int, base: int = 100) -> list[SizedValue]:
+    """Distinct values with a declared wire width (Theorem 2's ``|v|``)."""
+    if bits < 1:
+        raise ConfigurationError("bits must be >= 1")
+    return [SizedValue(base + pid, bits) for pid in range(1, n + 1)]
+
+
+def identical(n: int, value: Any = 7) -> list[Any]:
+    """Everyone proposes the same value (validity pins the decision)."""
+    if n < 1:
+        raise ConfigurationError("n must be >= 1")
+    return [value] * n
+
+
+def skewed(n: int, rng: RandomSource, alphabet: int = 3) -> list[int]:
+    """Small-alphabet random proposals: collisions likely, ties meaningful."""
+    if alphabet < 1:
+        raise ConfigurationError("alphabet must be >= 1")
+    return [rng.randint(0, alphabet - 1) for _ in range(n)]

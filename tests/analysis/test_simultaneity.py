@@ -1,0 +1,126 @@
+"""Tests for decision-skew analysis."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_crw, run_crw
+
+from repro.analysis.simultaneity import decision_skew, skew_profile
+from repro.sync.adversary import (
+    CommitSplitter,
+    CoordinatorKiller,
+    NoCrash,
+    RandomCrashes,
+)
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule
+
+
+class TestDecisionSkew:
+    def test_failure_free_is_simultaneous(self):
+        assert decision_skew(run_crw(6)) == 0
+
+    def test_silent_cascade_is_simultaneous(self):
+        sched = CrashSchedule(
+            [
+                CrashEvent(r, r, CrashPoint.DURING_DATA, data_subset=frozenset())
+                for r in (1, 2)
+            ]
+        )
+        assert decision_skew(run_crw(6, sched, t=2)) == 0
+
+    def test_commit_split_creates_skew(self):
+        sched = CrashSchedule(
+            [CrashEvent(1, 1, CrashPoint.DURING_CONTROL, control_prefix=2)]
+        )
+        result = run_crw(6, sched, t=1)
+        assert decision_skew(result) == 1
+
+    def test_no_decisions_zero_skew(self):
+        # Truncated before anyone decides.
+        sched = CrashSchedule(
+            [CrashEvent(1, 1, CrashPoint.DURING_DATA, data_subset=frozenset())]
+        )
+        result = run_crw(3, sched, t=1, max_rounds=1)
+        assert result.decisions == {}
+        assert decision_skew(result) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_skew_bounded_by_f(self, data):
+        """Skew <= f: decisions span from the first completed line 4 to
+        round f+1, and a completed line 4 with no earlier crash ends the
+        run immediately."""
+        n = data.draw(st.integers(2, 7), label="n")
+        f = data.draw(st.integers(0, n - 1), label="f")
+        events = []
+        for r in range(1, f + 1):
+            point = data.draw(
+                st.sampled_from(
+                    [
+                        CrashPoint.BEFORE_SEND,
+                        CrashPoint.DURING_DATA,
+                        CrashPoint.DURING_CONTROL,
+                        CrashPoint.AFTER_SEND,
+                    ]
+                ),
+                label=f"pt{r}",
+            )
+            subset = frozenset(
+                data.draw(
+                    st.lists(st.integers(1, n), max_size=n, unique=True),
+                    label=f"sub{r}",
+                )
+            )
+            prefix = data.draw(st.integers(0, n), label=f"pre{r}")
+            events.append(
+                CrashEvent(r, r, point, data_subset=subset, control_prefix=prefix)
+            )
+        result = run_crw(n, CrashSchedule(events), t=n - 1)
+        assert decision_skew(result) <= result.f
+
+
+class TestSkewProfile:
+    def test_none_adversary_zero(self):
+        profile = skew_profile(
+            lambda: make_crw(6),
+            NoCrash(),
+            n=6,
+            t=5,
+            seeds=5,
+            adversary_name="none",
+        )
+        assert profile.max_skew == 0
+        assert profile.skew_bounded_by_f
+
+    def test_commit_splitter_positive(self):
+        profile = skew_profile(
+            lambda: make_crw(6),
+            CommitSplitter(2, prefix_len=1),
+            n=6,
+            t=5,
+            seeds=5,
+        )
+        assert profile.max_skew >= 1
+        assert profile.skew_bounded_by_f
+
+    def test_random_sweep_bounded(self):
+        profile = skew_profile(
+            lambda: make_crw(6),
+            RandomCrashes(3),
+            n=6,
+            t=5,
+            seeds=25,
+        )
+        assert profile.skew_bounded_by_f
+
+    def test_cascade_simultaneous(self):
+        profile = skew_profile(
+            lambda: make_crw(6),
+            CoordinatorKiller(3),
+            n=6,
+            t=5,
+            seeds=5,
+        )
+        assert profile.max_skew == 0

@@ -1,0 +1,94 @@
+"""Tests for the discrete-event core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asyncsim.events import EventQueue
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestEventQueue:
+    def test_chronological_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, lambda: log.append("c"))
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(2.0, lambda: log.append("b"))
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_tie_break_is_insertion_order(self):
+        q = EventQueue()
+        log = []
+        for name in "abc":
+            q.schedule(1.0, lambda n=name: log.append(n))
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(2.5, lambda: seen.append(q.now))
+        end = q.run()
+        assert seen == [2.5]
+        assert end == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: q.schedule_at(1.0, lambda: None))
+        with pytest.raises(ConfigurationError):
+            q.run()
+
+    def test_nested_scheduling(self):
+        q = EventQueue()
+        log = []
+
+        def outer():
+            log.append(q.now)
+            q.schedule(1.0, lambda: log.append(q.now))
+
+        q.schedule(1.0, outer)
+        q.run()
+        assert log == [1.0, 2.0]
+
+    def test_until_horizon(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append(1))
+        q.schedule(10.0, lambda: log.append(10))
+        end = q.run(until=5.0)
+        assert log == [1]
+        assert end == 5.0
+        assert len(q) == 1  # late event still queued
+
+    def test_stop_predicate(self):
+        q = EventQueue()
+        log = []
+        for k in range(5):
+            q.schedule(float(k + 1), lambda k=k: log.append(k))
+        q.run(stop=lambda: len(log) >= 2)
+        assert len(log) == 2
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(1.0, lambda: log.append("x"))
+        ev.cancel()
+        q.run()
+        assert log == []
+        assert q.executed == 0
+
+    def test_event_budget(self):
+        q = EventQueue()
+
+        def respawn():
+            q.schedule(1.0, respawn)
+
+        q.schedule(1.0, respawn)
+        with pytest.raises(SimulationError):
+            q.run(max_events=100)

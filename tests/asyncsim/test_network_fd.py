@@ -1,0 +1,132 @@
+"""Tests for delay models, the async network, and the simulated detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asyncsim.events import EventQueue
+from repro.asyncsim.failure_detector import DetectorSpec, SimulatedDiamondS
+from repro.asyncsim.network import (
+    AsyncNetwork,
+    ConstantDelay,
+    GstDelay,
+    LogNormalDelay,
+    UniformDelay,
+)
+from repro.errors import ConfigurationError
+from repro.net.message import Message, MessageKind
+from repro.util.rng import RandomSource
+
+
+def amsg(s=1, d=2, tag="T"):
+    return Message(MessageKind.ASYNC, s, d, 1, payload=0, tag=tag)
+
+
+class TestDelayModels:
+    def test_constant(self):
+        assert ConstantDelay(2.0).delay(amsg(), 0.0, RandomSource(1)) == 2.0
+
+    def test_constant_validates(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDelay(-1.0)
+
+    def test_uniform_bounds(self):
+        m = UniformDelay(1.0, 2.0)
+        for k in range(50):
+            d = m.delay(amsg(), 0.0, RandomSource(k))
+            assert 1.0 <= d <= 2.0
+
+    def test_uniform_validates(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(2.0, 1.0)
+
+    def test_lognormal_positive(self):
+        m = LogNormalDelay()
+        assert all(m.delay(amsg(), 0.0, RandomSource(k)) > 0 for k in range(20))
+
+    def test_gst_regimes(self):
+        m = GstDelay(gst=10.0, wild=50.0, bound=1.0)
+        late = [m.delay(amsg(), 11.0, RandomSource(k)) for k in range(50)]
+        assert all(d <= 1.0 for d in late)
+
+    def test_gst_validates(self):
+        with pytest.raises(ConfigurationError):
+            GstDelay(gst=-1)
+
+
+class TestAsyncNetwork:
+    def test_delivery_after_delay(self):
+        q = EventQueue()
+        got = []
+        net = AsyncNetwork(q, ConstantDelay(3.0), RandomSource(1), got.append)
+        net.send(amsg())
+        q.run()
+        assert len(got) == 1 and q.now == 3.0
+        assert net.stats.async_sent == net.stats.async_delivered == 1
+
+    def test_rejects_non_async(self):
+        q = EventQueue()
+        net = AsyncNetwork(q, ConstantDelay(1.0), RandomSource(1), lambda m: None)
+        with pytest.raises(ConfigurationError):
+            net.send(Message(MessageKind.DATA, 1, 2, 1, payload=0))
+
+
+class TestSimulatedDiamondS:
+    def test_completeness(self):
+        # A crash is eventually reported to every observer.
+        q = EventQueue()
+        fd = SimulatedDiamondS(3, q, DetectorSpec(detection_latency=1.0), RandomSource(1))
+        fd.notify_crash(2)
+        q.run()
+        assert fd.suspects(1, 2) and fd.suspects(3, 2)
+
+    def test_latency_bound(self):
+        q = EventQueue()
+        fd = SimulatedDiamondS(3, q, DetectorSpec(detection_latency=1.0), RandomSource(1))
+        q.schedule(5.0, lambda: fd.notify_crash(2))
+        q.run()
+        assert q.now <= 6.0  # detection within latency of the crash
+
+    def test_accuracy_after_stabilization(self):
+        # No churn configured: nothing but real crashes is ever suspected.
+        q = EventQueue()
+        fd = SimulatedDiamondS(4, q, DetectorSpec(), RandomSource(1))
+        q.run()
+        for obs in range(1, 5):
+            assert fd.suspected(obs) == frozenset()
+
+    def test_churn_produces_and_retracts_false_suspicions(self):
+        q = EventQueue()
+        changes = []
+        fd = SimulatedDiamondS(
+            4,
+            q,
+            DetectorSpec(
+                stabilization_time=50.0,
+                churn_rate=1.0,
+                false_suspicion_duration=2.0,
+            ),
+            RandomSource(3),
+            on_change=changes.append,
+        )
+        q.run(until=100.0)
+        assert changes, "churn should have produced suspicion changes"
+        # After stabilization + duration, all false suspicions retracted.
+        for obs in range(1, 5):
+            assert fd.suspected(obs) == frozenset()
+
+    def test_on_change_fired_for_real_crash(self):
+        q = EventQueue()
+        changes = []
+        fd = SimulatedDiamondS(
+            3, q, DetectorSpec(detection_latency=0.5), RandomSource(1), changes.append
+        )
+        fd.notify_crash(3)
+        q.run()
+        assert set(changes) == {1, 2}
+
+    def test_ground_truth_exposed(self):
+        q = EventQueue()
+        fd = SimulatedDiamondS(3, q, DetectorSpec(), RandomSource(1))
+        fd.notify_crash(1)
+        assert fd.ground_truth_crashed == frozenset({1})

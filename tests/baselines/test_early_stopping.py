@@ -1,0 +1,107 @@
+"""Tests for the early-stopping flooding baseline: min(f+2, t+1) rounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.early_stopping import EarlyStoppingConsensus
+from repro.errors import ConfigurationError
+from repro.sync.adversary import CoordinatorKiller, RandomCrashes
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule
+from repro.sync.engine import ClassicSynchronousEngine
+from repro.sync.spec import assert_consensus
+from repro.util.rng import RandomSource
+
+
+def run_es(n, t, schedule=None, proposals=None, rng=None, max_rounds=None):
+    proposals = proposals or [100 + pid for pid in range(1, n + 1)]
+    procs = [
+        EarlyStoppingConsensus(pid, n, proposals[pid - 1], t) for pid in range(1, n + 1)
+    ]
+    engine = ClassicSynchronousEngine(procs, schedule, t=t, rng=rng or RandomSource(2))
+    return engine.run(max_rounds)
+
+
+class TestEarlyStopping:
+    def test_t_validated(self):
+        with pytest.raises(ConfigurationError):
+            EarlyStoppingConsensus(1, 3, 0, t=-1)
+
+    def test_failure_free_two_rounds(self):
+        # f=0: everyone sees nbr equality at round 1 and decides at round 2,
+        # i.e. f+2 — one more than the extended-model algorithm's 1 round.
+        result = run_es(5, t=3)
+        assert_consensus(result)
+        assert result.rounds_executed == 2
+        assert all(r == 2 for r in result.decision_rounds.values())
+
+    def test_t_zero_single_round(self):
+        # min(f+2, t+1) = 1 when t=0.
+        result = run_es(4, t=0)
+        assert_consensus(result)
+        assert result.rounds_executed == 1
+
+    def test_decides_minimum(self):
+        result = run_es(4, t=2, proposals=[7, 3, 9, 5])
+        assert set(result.decisions.values()) == {3}
+
+    @pytest.mark.parametrize("f", [0, 1, 2, 3])
+    def test_f_plus_two_bound_under_visible_crashes(self, f):
+        # One crash visible per round: the worst case for the counting rule.
+        n, t = 8, 4
+        events = [
+            CrashEvent(pid, pid, CrashPoint.BEFORE_SEND) for pid in range(1, f + 1)
+        ]
+        result = run_es(n, t, CrashSchedule(events))
+        assert_consensus(result)
+        assert result.last_decision_round <= min(f + 2, t + 1)
+
+    def test_never_beats_f_plus_two_under_crashes_at_round_one(self):
+        # A visible crash forces at least one count drop: nobody can decide
+        # before round 3 when a crash is universally visible in round 1.
+        n, t = 6, 3
+        sched = CrashSchedule([CrashEvent(1, 1, CrashPoint.BEFORE_SEND)])
+        result = run_es(n, t, sched)
+        assert_consensus(result)
+        assert result.last_decision_round == 3  # f+2 with f=1
+
+    def test_partially_visible_crash_mixed_rounds(self):
+        # p1 reaches only p2 before dying: p2 sees no failure (equality at
+        # round 1), others see one.  All must still agree.
+        n, t = 5, 2
+        sched = CrashSchedule(
+            [CrashEvent(1, 1, CrashPoint.DURING_DATA, data_subset=frozenset({2}))]
+        )
+        result = run_es(n, t, sched, proposals=[0, 5, 6, 7, 8])
+        assert_consensus(result)
+        # p2 received p1's 0 and relays it; everyone decides 0.
+        assert set(result.decisions.values()) == {0}
+
+    def test_coordinator_killer_is_benign_here(self):
+        # Flooding has no coordinators: killing low ids early behaves like
+        # any other crash pattern and the f+2 bound holds.
+        n, t = 8, 5
+        rng = RandomSource(4)
+        sched = CoordinatorKiller(3).schedule(n, t, rng)
+        result = run_es(n, t, sched, rng=rng)
+        assert_consensus(result)
+        assert result.last_decision_round <= 5  # f+2 = 5
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_property_uniform_and_bound(self, data):
+        n = data.draw(st.integers(2, 7), label="n")
+        t = data.draw(st.integers(0, n - 1), label="t")
+        f = data.draw(st.integers(0, t), label="f")
+        seed = data.draw(st.integers(0, 2**32), label="seed")
+        proposals = data.draw(
+            st.lists(st.integers(0, 3), min_size=n, max_size=n), label="proposals"
+        )
+        rng = RandomSource(seed)
+        sched = RandomCrashes(f, max_round=t + 1, classic=True).schedule(n, t, rng)
+        result = run_es(n, t, sched, proposals=proposals, rng=rng)
+        assert_consensus(result, round_bound=t + 1)
+        # Early stopping: min(f+2, t+1) with the run's actual f.
+        assert result.last_decision_round <= min(result.f + 2, t + 1)

@@ -1,0 +1,94 @@
+"""Tests for the FloodSet t+1-round baseline (classic model)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.floodset import FloodSetConsensus, value_key
+from repro.errors import ConfigurationError
+from repro.net.payload import SizedValue
+from repro.sync.adversary import RandomCrashes
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule
+from repro.sync.engine import ClassicSynchronousEngine
+from repro.sync.spec import assert_consensus, check_consensus
+from repro.util.rng import RandomSource
+
+
+def run_floodset(n, t, schedule=None, proposals=None, rng=None):
+    proposals = proposals or [100 + pid for pid in range(1, n + 1)]
+    procs = [FloodSetConsensus(pid, n, proposals[pid - 1], t) for pid in range(1, n + 1)]
+    engine = ClassicSynchronousEngine(procs, schedule, t=t, rng=rng or RandomSource(2))
+    return engine.run()
+
+
+class TestValueKey:
+    def test_plain_values(self):
+        assert value_key(3) == 3
+
+    def test_sized_values_unwrap(self):
+        assert value_key(SizedValue(3, 64)) == 3
+
+
+class TestFloodSet:
+    def test_t_validated(self):
+        with pytest.raises(ConfigurationError):
+            FloodSetConsensus(1, 3, 0, t=3)
+
+    def test_failure_free_takes_t_plus_one_rounds(self):
+        # FloodSet never stops early: t+1 rounds even with f=0.
+        for t in (0, 1, 2, 3):
+            result = run_floodset(5, t)
+            assert_consensus(result)
+            assert result.rounds_executed == t + 1
+            assert all(r == t + 1 for r in result.decision_rounds.values())
+
+    def test_decides_minimum(self):
+        result = run_floodset(4, 2, proposals=[7, 3, 9, 5])
+        assert set(result.decisions.values()) == {3}
+
+    def test_silence_optimisation_reduces_messages(self):
+        # With identical proposals nothing new ever circulates after round 1.
+        result = run_floodset(4, 2, proposals=[5, 5, 5, 5])
+        assert_consensus(result)
+        # Round 1: 4*3 sends; rounds 2..3: nothing new -> silence.
+        assert result.stats.data_sent == 12
+
+    def test_hidden_value_chain(self):
+        # The adversarial chain: p1's (minimal) value hops through dying
+        # processes one round at a time; survivors must still agree.
+        n, t = 4, 2
+        sched = CrashSchedule(
+            [
+                CrashEvent(1, 1, CrashPoint.DURING_DATA, data_subset=frozenset({2})),
+                CrashEvent(2, 2, CrashPoint.DURING_DATA, data_subset=frozenset({3})),
+            ]
+        )
+        result = run_floodset(n, t, sched, proposals=[1, 5, 6, 7])
+        assert_consensus(result)
+        # The chained value reached p3 who relayed it in round 3.
+        assert set(result.decisions.values()) == {1}
+
+    def test_uniform_agreement_includes_last_round_deciders(self):
+        # All deciders decide at t+1 with equal sets (clean-round argument).
+        n, t = 5, 2
+        rng = RandomSource(9)
+        sched = RandomCrashes(f=2, max_round=t + 1, classic=True).schedule(n, t, rng)
+        result = run_floodset(n, t, sched, rng=rng)
+        assert check_consensus(result).ok
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_property_uniform_consensus(self, data):
+        n = data.draw(st.integers(2, 6), label="n")
+        t = data.draw(st.integers(0, n - 1), label="t")
+        f = data.draw(st.integers(0, t), label="f")
+        seed = data.draw(st.integers(0, 2**32), label="seed")
+        proposals = data.draw(
+            st.lists(st.integers(0, 3), min_size=n, max_size=n), label="proposals"
+        )
+        rng = RandomSource(seed)
+        sched = RandomCrashes(f, max_round=t + 1, classic=True).schedule(n, t, rng)
+        result = run_floodset(n, t, sched, proposals=proposals, rng=rng)
+        assert_consensus(result, round_bound=t + 1)

@@ -1,0 +1,124 @@
+"""Tests for interactive consistency and the IC -> consensus reduction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.floodset import FloodSetConsensus
+from repro.baselines.interactive_consistency import (
+    BOTTOM,
+    ICConsensus,
+    InteractiveConsistency,
+    check_interactive_consistency,
+)
+from repro.errors import ConfigurationError
+from repro.sync.adversary import RandomCrashes
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule
+from repro.sync.engine import ClassicSynchronousEngine
+from repro.sync.spec import assert_consensus
+from repro.util.rng import RandomSource
+
+
+def run_ic(n, t, schedule=None, proposals=None, rng=None, cls=InteractiveConsistency):
+    proposals = proposals or [100 + pid for pid in range(1, n + 1)]
+    procs = [cls(pid, n, proposals[pid - 1], t) for pid in range(1, n + 1)]
+    engine = ClassicSynchronousEngine(procs, schedule, t=t, rng=rng or RandomSource(2))
+    return engine.run()
+
+
+class TestInteractiveConsistency:
+    def test_t_validated(self):
+        with pytest.raises(ConfigurationError):
+            InteractiveConsistency(1, 3, 0, t=3)
+
+    def test_failure_free_full_vector(self):
+        result = run_ic(4, t=2)
+        assert check_interactive_consistency(result) == []
+        vector = next(iter(result.decisions.values()))
+        assert vector == (101, 102, 103, 104)
+        assert result.rounds_executed == 3  # t+1
+
+    def test_crashed_origin_may_be_bottom(self):
+        sched = CrashSchedule([CrashEvent(1, 1, CrashPoint.BEFORE_SEND)])
+        result = run_ic(4, t=2, schedule=sched)
+        assert check_interactive_consistency(result) == []
+        vector = next(iter(result.decisions.values()))
+        assert vector[0] is BOTTOM
+        assert vector[1:] == (102, 103, 104)
+
+    def test_partially_heard_crashed_origin_propagates(self):
+        # p1 reaches only p2; relaying must spread v1 to every decider.
+        sched = CrashSchedule(
+            [CrashEvent(1, 1, CrashPoint.DURING_DATA, data_subset=frozenset({2}))]
+        )
+        result = run_ic(4, t=2, schedule=sched)
+        assert check_interactive_consistency(result) == []
+        vector = next(iter(result.decisions.values()))
+        assert vector[0] == 101  # the faulty origin's value was adopted by all
+
+    def test_bottom_is_singleton_one_bit(self):
+        from repro.baselines.interactive_consistency import _Bottom
+
+        assert _Bottom() is BOTTOM
+        assert BOTTOM.bit_size() == 1
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_property_ic_spec(self, data):
+        n = data.draw(st.integers(2, 6), label="n")
+        t = data.draw(st.integers(0, n - 1), label="t")
+        f = data.draw(st.integers(0, t), label="f")
+        seed = data.draw(st.integers(0, 2**32), label="seed")
+        rng = RandomSource(seed)
+        sched = RandomCrashes(f, max_round=t + 1, classic=True).schedule(n, t, rng)
+        result = run_ic(n, t, schedule=sched, rng=rng)
+        assert check_interactive_consistency(result) == [], result.decisions
+
+
+class TestICConsensusReduction:
+    def test_reduction_gives_uniform_consensus(self):
+        sched = CrashSchedule(
+            [CrashEvent(2, 1, CrashPoint.DURING_DATA, data_subset=frozenset({4}))]
+        )
+        result = run_ic(5, t=2, schedule=sched, cls=ICConsensus)
+        assert_consensus(result, round_bound=3)
+
+    def test_reduction_matches_floodset_decision(self):
+        # IC+min and FloodSet compute the same thing through different
+        # intermediate state: same schedule, same decision.
+        n, t = 5, 2
+        proposals = [7, 3, 9, 1, 5]
+        sched = CrashSchedule(
+            [CrashEvent(4, 1, CrashPoint.DURING_DATA, data_subset=frozenset({1}))]
+        )
+
+        ic = run_ic(n, t, schedule=sched, proposals=proposals, cls=ICConsensus)
+        fs_procs = [
+            FloodSetConsensus(pid, n, proposals[pid - 1], t) for pid in range(1, n + 1)
+        ]
+        fs = ClassicSynchronousEngine(
+            fs_procs,
+            CrashSchedule(
+                [CrashEvent(4, 1, CrashPoint.DURING_DATA, data_subset=frozenset({1}))]
+            ),
+            t=t,
+            rng=RandomSource(2),
+        ).run()
+        assert ic.decisions == fs.decisions
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_property_reduction_is_uniform_consensus(self, data):
+        n = data.draw(st.integers(2, 6), label="n")
+        t = data.draw(st.integers(0, n - 1), label="t")
+        f = data.draw(st.integers(0, t), label="f")
+        seed = data.draw(st.integers(0, 2**32), label="seed")
+        proposals = data.draw(
+            st.lists(st.integers(0, 3), min_size=n, max_size=n), label="proposals"
+        )
+        rng = RandomSource(seed)
+        sched = RandomCrashes(f, max_round=t + 1, classic=True).schedule(n, t, rng)
+        result = run_ic(n, t, schedule=sched, proposals=proposals, rng=rng, cls=ICConsensus)
+        assert_consensus(result, round_bound=t + 1)

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crw import CRWConsensus
+from repro.sync.crash import CrashSchedule
+from repro.sync.extended import ExtendedSynchronousEngine
+from repro.util.rng import RandomSource
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A fixed-seed random source; tests needing other seeds spawn children."""
+    return RandomSource(20060810)  # ICPP'06 flavoured seed
+
+
+def make_crw(n: int, proposals: list | None = None) -> list[CRWConsensus]:
+    """Build n CRW processes with default proposals 100+pid."""
+    if proposals is None:
+        proposals = [100 + pid for pid in range(1, n + 1)]
+    return [CRWConsensus(pid, n, proposals[pid - 1]) for pid in range(1, n + 1)]
+
+
+def run_crw(
+    n: int,
+    schedule: CrashSchedule | None = None,
+    t: int | None = None,
+    proposals: list | None = None,
+    rng: RandomSource | None = None,
+    max_rounds: int | None = None,
+):
+    """Run CRW on the extended engine and return the RunResult."""
+    engine = ExtendedSynchronousEngine(
+        make_crw(n, proposals),
+        schedule,
+        t=t if t is not None else n - 1,
+        rng=rng or RandomSource(1),
+    )
+    return engine.run(max_rounds)

@@ -1,0 +1,117 @@
+"""Basic behaviour of the paper's Figure-1 algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import make_crw, run_crw
+
+from repro.core.crw import CRWConsensus
+from repro.errors import ModelViolationError
+from repro.sync.api import RoundInbox
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule
+from repro.sync.extended import ExtendedSynchronousEngine
+from repro.sync.spec import assert_consensus
+
+
+class TestSendPlans:
+    def test_coordinator_plan_shape(self):
+        p = CRWConsensus(3, 6, proposal="v")
+        plan = p.send_phase(3)
+        # Line 4: DATA to higher ids only.
+        assert set(plan.data) == {4, 5, 6}
+        assert all(v == "v" for v in plan.data.values())
+        # Line 5: COMMIT in decreasing id order, p_n first.
+        assert plan.control == (6, 5, 4)
+
+    def test_last_process_plan_is_empty(self):
+        p = CRWConsensus(4, 4, proposal="v")
+        plan = p.send_phase(4)
+        assert not plan.data and not plan.control
+
+    def test_non_coordinator_is_silent(self):
+        p = CRWConsensus(3, 6, proposal="v")
+        plan = p.send_phase(1)
+        assert not plan.data and not plan.control
+
+    def test_round_beyond_own_id_is_cannot_happen(self):
+        p = CRWConsensus(2, 4, proposal="v")
+        with pytest.raises(ModelViolationError):
+            p.send_phase(3)
+
+
+class TestComputePhase:
+    def test_adopt_then_decide_on_commit(self):
+        p = CRWConsensus(3, 4, proposal="mine")
+        p.compute_phase(1, RoundInbox(data={1: "coord"}, control=frozenset({1})))
+        assert p.decided and p.decision == "coord"
+
+    def test_adopt_without_commit_keeps_running(self):
+        p = CRWConsensus(3, 4, proposal="mine")
+        p.compute_phase(1, RoundInbox(data={1: "coord"}))
+        assert not p.decided
+        assert p.est == "coord"
+
+    def test_nothing_received_keeps_estimate(self):
+        p = CRWConsensus(3, 4, proposal="mine")
+        p.compute_phase(1, RoundInbox())
+        assert p.est == "mine" and not p.decided
+
+    def test_commit_without_data_is_engine_bug(self):
+        p = CRWConsensus(3, 4, proposal="mine")
+        with pytest.raises(ModelViolationError):
+            p.compute_phase(1, RoundInbox(control=frozenset({1})))
+
+    def test_coordinator_decides_own_estimate(self):
+        p = CRWConsensus(2, 4, proposal="mine")
+        p.compute_phase(1, RoundInbox(data={1: "coord"}))  # adopt in round 1
+        p.compute_phase(2, RoundInbox())  # own round
+        assert p.decided and p.decision == "coord"
+
+
+class TestFailureFreeRun:
+    def test_single_round_decision(self):
+        # "If the first coordinator does not crash, the decision is obtained
+        #  in one round, whatever the number of faulty processes."
+        result = run_crw(6)
+        assert_consensus(result, require_early_stopping=True)
+        assert result.rounds_executed == 1
+        assert all(r == 1 for r in result.decision_rounds.values())
+        assert set(result.decisions.values()) == {101}  # p1's proposal
+
+    def test_two_processes(self):
+        result = run_crw(2)
+        assert_consensus(result)
+        assert result.rounds_executed == 1
+
+    def test_message_pattern_best_case(self):
+        # Only p1 sends: n-1 DATA + n-1 COMMIT.
+        n = 8
+        result = run_crw(n)
+        assert result.stats.data_sent == n - 1
+        assert result.stats.control_sent == n - 1
+
+
+class TestDecisionValue:
+    def test_first_surviving_coordinator_value_wins(self):
+        sched = CrashSchedule(
+            [CrashEvent(1, 1, CrashPoint.BEFORE_SEND)]
+        )
+        result = run_crw(5, sched, t=2)
+        assert_consensus(result, require_early_stopping=True)
+        assert set(result.decisions.values()) == {102}  # p2's proposal
+
+    def test_partial_data_adoption_changes_estimates(self):
+        # p1 crashes mid-data delivering only to p2; p2 then coordinates
+        # round 2 and imposes p1's old value.
+        sched = CrashSchedule(
+            [
+                CrashEvent(
+                    1, 1, CrashPoint.DURING_DATA, data_subset=frozenset({2})
+                )
+            ]
+        )
+        result = run_crw(5, sched, t=2)
+        assert_consensus(result, require_early_stopping=True)
+        assert set(result.decisions.values()) == {101}
+        assert result.last_decision_round == 2

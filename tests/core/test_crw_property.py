@@ -1,0 +1,113 @@
+"""Property-based certification of CRW: uniform consensus + f+1 bound
+under *arbitrary* hypothesis-generated crash schedules."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_crw
+
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule
+from repro.sync.extended import ExtendedSynchronousEngine
+from repro.sync.spec import assert_consensus
+from repro.util.rng import RandomSource
+
+POINTS = [
+    CrashPoint.BEFORE_SEND,
+    CrashPoint.DURING_DATA,
+    CrashPoint.DURING_CONTROL,
+    CrashPoint.AFTER_SEND,
+]
+
+
+@st.composite
+def crash_schedules(draw, n: int):
+    """Arbitrary schedule: victims, rounds, points, explicit subsets/prefixes."""
+    n_crashes = draw(st.integers(0, n - 1))
+    victims = draw(
+        st.lists(
+            st.integers(1, n), min_size=n_crashes, max_size=n_crashes, unique=True
+        )
+    )
+    events = []
+    for pid in victims:
+        round_no = draw(st.integers(1, n))
+        point = draw(st.sampled_from(POINTS))
+        subset = frozenset(
+            draw(st.lists(st.integers(1, n), max_size=n, unique=True))
+        )
+        prefix = draw(st.integers(0, n))
+        events.append(
+            CrashEvent(
+                pid=pid,
+                round_no=round_no,
+                point=point,
+                data_subset=subset,
+                control_prefix=prefix,
+            )
+        )
+    return CrashSchedule(events)
+
+
+@st.composite
+def proposal_lists(draw, n: int):
+    return draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+
+
+class TestCRWProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.data())
+    def test_uniform_consensus_and_early_stopping(self, data):
+        n = data.draw(st.integers(2, 7), label="n")
+        schedule = data.draw(crash_schedules(n), label="schedule")
+        proposals = data.draw(proposal_lists(n), label="proposals")
+
+        procs = make_crw(n, proposals)
+        engine = ExtendedSynchronousEngine(
+            procs, schedule, t=n - 1, rng=RandomSource(0)
+        )
+        result = engine.run()
+        assert_consensus(result, require_early_stopping=True)
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_decision_is_first_locking_coordinator_estimate(self, data):
+        """Lemma 2 computationally: all decisions equal the locked value."""
+        from repro.core.locking import analyze_locking
+
+        n = data.draw(st.integers(2, 6), label="n")
+        schedule = data.draw(crash_schedules(n), label="schedule")
+        proposals = data.draw(proposal_lists(n), label="proposals")
+
+        procs = make_crw(n, proposals)
+        result = ExtendedSynchronousEngine(
+            procs, schedule, t=n - 1, rng=RandomSource(0)
+        ).run()
+        report = analyze_locking(result)
+        assert report.decisions_consistent, (
+            f"decisions {result.decisions} conflict with locked value "
+            f"{report.locked_value!r} at round {report.locking_round}"
+        )
+        # If anyone decided, some coordinator completed line 4 (claim C1).
+        if result.decisions:
+            assert report.locking_round is not None
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data())
+    def test_one_round_when_p1_survives_round_one(self, data):
+        n = data.draw(st.integers(2, 7), label="n")
+        schedule = data.draw(crash_schedules(n), label="schedule")
+        proposals = data.draw(proposal_lists(n), label="proposals")
+        ev = schedule.event_for(1)
+        if ev is not None and ev.round_no == 1:
+            return  # p1 dies in round 1: not this property's scope
+
+        procs = make_crw(n, proposals)
+        result = ExtendedSynchronousEngine(
+            procs, schedule, t=n - 1, rng=RandomSource(0)
+        ).run()
+        # p1 coordinates round 1 without crashing: every surviving process
+        # decides p1's proposal in round 1.
+        assert result.last_decision_round == 1
+        assert set(result.decisions.values()) == {proposals[0]}

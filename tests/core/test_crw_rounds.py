@@ -1,0 +1,92 @@
+"""Theorem 1's round bound: no decision after round f + 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import run_crw
+
+from repro.sync.adversary import (
+    CommitSplitter,
+    CoordinatorKiller,
+    RandomCrashes,
+    StaggeredKiller,
+)
+from repro.sync.spec import assert_consensus
+from repro.util.rng import RandomSource
+
+
+class TestCoordinatorKillerForcesFPlusOne:
+    @pytest.mark.parametrize("n,f", [(4, 1), (4, 2), (4, 3), (8, 3), (8, 5), (16, 7)])
+    def test_exactly_f_plus_one_rounds(self, n, f):
+        rng = RandomSource(99)
+        sched = CoordinatorKiller(f).schedule(n, n - 1, rng)
+        result = run_crw(n, sched, t=n - 1, rng=rng)
+        assert_consensus(result, require_early_stopping=True)
+        assert result.f == f
+        assert result.last_decision_round == f + 1
+        assert result.rounds_executed == f + 1
+
+    def test_subset_delivery_variant_still_f_plus_one(self):
+        rng = RandomSource(7)
+        sched = CoordinatorKiller(3, deliver_to_none=False).schedule(8, 7, rng)
+        result = run_crw(8, sched, t=7, rng=rng)
+        assert_consensus(result, require_early_stopping=True)
+        assert result.last_decision_round == 4
+
+
+class TestBenignCrashPatterns:
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_non_coordinator_crashes_decide_round_one(self, f):
+        # StaggeredKiller only kills top-id processes after they've been
+        # served by p1's round-1 broadcast: the survivors decide in round 1.
+        rng = RandomSource(11)
+        n = 8
+        sched = StaggeredKiller(f).schedule(n, n - 1, rng)
+        result = run_crw(n, sched, t=n - 1, rng=rng)
+        assert_consensus(result, require_early_stopping=True)
+        # p1 survives -> decision in one round regardless of f.
+        assert result.last_decision_round == 1
+
+
+class TestCommitSplitRuns:
+    @pytest.mark.parametrize("prefix", [0, 1, 2, 3])
+    def test_partial_commit_still_uniform(self, prefix):
+        n, f = 6, 2
+        rng = RandomSource(13)
+        sched = CommitSplitter(f, prefix_len=prefix).schedule(n, n - 1, rng)
+        result = run_crw(n, sched, t=n - 1, rng=rng)
+        assert_consensus(result, require_early_stopping=True)
+
+    def test_top_ids_decide_early_bottom_later(self):
+        # Coordinator p1 delivers COMMIT only to p_n: p_n decides in round 1,
+        # the rest in round 2 (served by p2).
+        n = 6
+        rng = RandomSource(13)
+        sched = CommitSplitter(1, prefix_len=1).schedule(n, n - 1, rng)
+        result = run_crw(n, sched, t=n - 1, rng=rng)
+        assert_consensus(result, require_early_stopping=True)
+        rounds = result.decision_rounds
+        assert rounds[n] == 1
+        assert all(rounds[p] == 2 for p in range(2, n))
+
+    def test_prefix_decider_and_late_decider_agree(self):
+        n = 5
+        rng = RandomSource(17)
+        sched = CommitSplitter(1, prefix_len=2).schedule(n, n - 1, rng)
+        result = run_crw(n, sched, t=n - 1, rng=rng)
+        assert len(set(result.decisions.values())) == 1
+
+
+class TestRandomAdversarySweep:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_uniform_consensus_and_bound_hold(self, seed):
+        rng = RandomSource(seed)
+        n = 7
+        f = rng.randint(0, 4)
+        sched = RandomCrashes(f).schedule(n, 5, rng)
+        result = run_crw(n, sched, t=5, rng=rng)
+        # The schedule *allows* f crashes but some may never fire (e.g. a
+        # process decides before its crash round): the spec checker uses the
+        # actual f of the run.
+        assert_consensus(result, require_early_stopping=True)

@@ -1,0 +1,75 @@
+"""Tests for the FullBroadcastCRW ablation (drop the higher-ids-only rule)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crw import CRWConsensus
+from repro.core.variants import FullBroadcastCRW
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule
+from repro.sync.extended import ExtendedSynchronousEngine
+from repro.sync.spec import assert_consensus
+from repro.util.rng import RandomSource
+
+
+def run(cls, n, schedule=None, proposals=None):
+    proposals = proposals or [100 + pid for pid in range(1, n + 1)]
+    procs = [cls(pid, n, proposals[pid - 1]) for pid in range(1, n + 1)]
+    engine = ExtendedSynchronousEngine(procs, schedule, t=n - 1, rng=RandomSource(1))
+    return engine.run()
+
+
+class TestFullBroadcast:
+    def test_failure_free_same_rounds_more_messages(self):
+        n = 6
+        lean = run(CRWConsensus, n)
+        fat = run(FullBroadcastCRW, n)
+        assert lean.decisions == fat.decisions
+        assert lean.rounds_executed == fat.rounds_executed == 1
+        # Round 1 coordinator is p1: higher-ids-only == everyone, so the
+        # failure-free bill is identical...
+        assert lean.stats.messages_sent == fat.stats.messages_sent
+
+    def test_cascade_shows_the_waste(self):
+        # ...the waste appears when later coordinators lead: p_r addresses
+        # r-1 dead-or-decided lower ids for nothing.
+        n, f = 6, 3
+        sched = lambda: CrashSchedule(
+            [
+                CrashEvent(r, r, CrashPoint.DURING_DATA, data_subset=frozenset())
+                for r in range(1, f + 1)
+            ]
+        )
+        lean = run(CRWConsensus, n, sched())
+        fat = run(FullBroadcastCRW, n, sched())
+        assert lean.last_decision_round == fat.last_decision_round == f + 1
+        assert fat.stats.messages_sent > lean.stats.messages_sent
+        # Round r = f+1 completes: lean sends 2(n-r) there, fat 2(n-1).
+        assert fat.stats.messages_sent - lean.stats.messages_sent == 2 * f
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_property_still_uniform_consensus(self, data):
+        n = data.draw(st.integers(2, 6), label="n")
+        f = data.draw(st.integers(0, n - 1), label="f")
+        proposals = data.draw(
+            st.lists(st.integers(0, 3), min_size=n, max_size=n), label="proposals"
+        )
+        events = []
+        for r in range(1, f + 1):
+            subset = frozenset(
+                data.draw(st.lists(st.integers(1, n), max_size=n, unique=True), label=f"s{r}")
+            )
+            prefix = data.draw(st.integers(0, n), label=f"p{r}")
+            point = data.draw(
+                st.sampled_from(
+                    [CrashPoint.DURING_DATA, CrashPoint.DURING_CONTROL, CrashPoint.AFTER_SEND]
+                ),
+                label=f"pt{r}",
+            )
+            events.append(
+                CrashEvent(r, r, point, data_subset=subset, control_prefix=prefix)
+            )
+        result = run(FullBroadcastCRW, n, CrashSchedule(events), proposals)
+        assert_consensus(result, require_early_stopping=True)

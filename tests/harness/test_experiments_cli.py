@@ -1,0 +1,84 @@
+"""Smoke + contract tests for experiments, reports, and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.experiments import (
+    e1_rounds,
+    e2_bits,
+    e3_timing,
+    e6_ffd,
+    e7_simulation,
+)
+from repro.harness.report import render_experiment_markdown
+
+
+class TestExperiments:
+    def test_e1_small(self):
+        result = e1_rounds(n_values=(4,), seeds=3)
+        assert result.findings["all_runs_satisfy_uniform_consensus"] is True
+        assert result.findings["crw_bound_tight_under_cascade"] is True
+        assert result.findings["crw_single_round_under_benign_crashes"] is True
+        assert len(result.tables[0]) > 0
+
+    def test_e2_small(self):
+        result = e2_bits(n_values=(4, 8), bit_widths=(8, 64))
+        assert result.findings["best_case_matches_formula_exactly"] is True
+        assert result.findings["worst_case_within_paper_bound"] is True
+
+    def test_e3(self):
+        result = e3_timing()
+        assert result.findings["empirical_crossover_matches_formula"] is True
+
+    def test_e6_small(self):
+        result = e6_ffd(f_values=(0, 2))
+        assert result.findings["ffd_runs_uniform"] is True
+        assert result.findings["measured_within_model_bound"] is True
+
+    def test_e7_small(self):
+        result = e7_simulation(n_values=(4,), f_values=(0, 1))
+        assert result.findings["simulated_runs_uniform"] is True
+
+    def test_render_markdown(self):
+        md = render_experiment_markdown(e3_timing())
+        assert md.startswith("## E3")
+        assert "| f" in md
+        assert "`empirical_crossover_matches_formula` = True" in md
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "crw" in out and "e1" in out
+
+    def test_run_ok(self, capsys):
+        code = main(["run", "--algorithm", "crw", "--n", "5", "--f", "1"])
+        assert code == 0
+        assert "spec:  OK" in capsys.readouterr().out
+
+    def test_run_trace(self, capsys):
+        main(["run", "--n", "4", "--trace"])
+        assert "decide" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+
+    def test_experiment_markdown(self, capsys):
+        assert main(["experiment", "e3", "--markdown"]) == 0
+        assert "## E3" in capsys.readouterr().out
+
+    def test_explore_ok(self, capsys):
+        code = main(["explore", "--n", "3", "--max-crashes", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "early stopping" in out
+
+    def test_explore_finds_violations(self, capsys):
+        code = main(
+            ["explore", "--n", "4", "--max-crashes", "1", "--truncate-at", "1", "--max-rounds", "2"]
+        )
+        assert code == 1
+        assert "violating leaves" in capsys.readouterr().out

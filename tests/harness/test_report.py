@@ -1,0 +1,39 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import render_all_markdown, render_experiment_markdown
+from repro.util.tables import Table
+
+
+class TestRenderExperiment:
+    def test_sections_and_checks(self):
+        table = Table(["a"], title="T")
+        table.add_row(1)
+        result = ExperimentResult(
+            exp_id="EX",
+            title="demo",
+            claim="c",
+            tables=[table],
+            findings={"good": True, "bad": False, "note": "text"},
+        )
+        md = render_experiment_markdown(result)
+        assert md.startswith("## EX — demo")
+        assert "*Claim:* c" in md
+        assert "**T**" in md
+        assert "- ✅ `good` = True" in md
+        assert "- ❌ `bad` = False" in md
+        assert "- · `note` = text" in md
+
+    def test_no_findings_no_checks_block(self):
+        result = ExperimentResult(exp_id="EX", title="demo", claim="c")
+        md = render_experiment_markdown(result)
+        assert "**Checks**" not in md
+
+
+class TestRenderAll:
+    def test_selected_subset(self):
+        md = render_all_markdown(["e3"])
+        assert "## E3" in md
+        assert "## E1" not in md

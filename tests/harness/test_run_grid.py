@@ -1,0 +1,32 @@
+"""Tests for the grid sweep runner."""
+
+from __future__ import annotations
+
+from repro.harness.runner import run_grid
+from repro.workloads.crashes import CrashGrid
+
+
+class TestRunGrid:
+    def test_cells_aggregated(self):
+        grid = CrashGrid(n_values=(4,), adversaries=("none", "coordinator-killer"), seeds=3)
+        rows = run_grid("crw", grid)
+        # none -> f=0 only; coordinator-killer -> f in 0..3.
+        assert len(rows) == 1 + 4
+        assert all(row.seeds == 3 for row in rows)
+        assert all(row.spec_ok for row in rows)
+
+    def test_bounds_hold_across_grid(self):
+        grid = CrashGrid(n_values=(4, 6), adversaries=("coordinator-killer",), seeds=2)
+        for row in run_grid("crw", grid):
+            assert row.max_last_round <= row.bound
+
+    def test_classic_algorithm_with_random_adversary(self):
+        # 'random' auto-maps to the classic point set for classic models.
+        grid = CrashGrid(n_values=(4,), adversaries=("random",), seeds=2, t_rule="third")
+        rows = run_grid("early-stopping", grid)
+        assert rows and all(row.spec_ok for row in rows)
+
+    def test_value_bits_passthrough(self):
+        grid = CrashGrid(n_values=(4,), adversaries=("none",), seeds=1)
+        (row,) = run_grid("crw", grid, value_bits=256)
+        assert row.mean_bits == 3 * 257  # (n-1)(|v|+1)

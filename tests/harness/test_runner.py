@@ -1,0 +1,57 @@
+"""Tests for the experiment harness runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.runner import ALGORITHMS, RunConfig, run_once, run_sweep
+
+
+class TestRunConfig:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig("paxos", 4, 3, 0, "none", 0)
+
+
+class TestRunOnce:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_failure_free(self, algorithm):
+        result = run_once(RunConfig(algorithm, 5, 4, 0, "none", 0))
+        assert result.completed
+        assert len(result.decisions) == 5
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_with_random_crashes(self, algorithm):
+        # "random" is auto-mapped to the classic variant for classic models.
+        result = run_once(RunConfig(algorithm, 6, 5, 2, "random", 3))
+        assert result.completed
+
+    def test_round_bounds_encode_paper_table(self):
+        assert ALGORITHMS["crw"].round_bound(2, 5) == 3
+        assert ALGORITHMS["floodset"].round_bound(2, 5) == 6
+        assert ALGORITHMS["early-stopping"].round_bound(2, 5) == 4
+        assert ALGORITHMS["early-stopping"].round_bound(5, 5) == 6  # min(f+2, t+1)
+
+    def test_value_bits_respected(self):
+        result = run_once(RunConfig("crw", 4, 3, 0, "none", 0, value_bits=128))
+        # Single round: 3 data * 128 bits + 3 commits * 1 bit.
+        assert result.stats.bits_sent == 3 * 128 + 3
+
+    def test_trace_flag(self):
+        result = run_once(RunConfig("crw", 4, 3, 0, "none", 0), trace=True)
+        assert len(result.trace) > 0
+
+
+class TestRunSweep:
+    def test_aggregates(self):
+        row = run_sweep("crw", 6, 5, 2, "coordinator-killer", seeds=5)
+        assert row.spec_ok
+        assert row.max_last_round == 3
+        assert row.bound == 3
+        assert row.mean_last_round == 3.0
+
+    def test_floodset_constant_rounds(self):
+        row = run_sweep("floodset", 5, 2, 1, "random", seeds=5)
+        assert row.spec_ok
+        assert row.max_last_round == 3  # always t+1

@@ -1,0 +1,122 @@
+"""Tests for the worst-case / refutation certificates (Theorems 1, 3-5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crw import CRWConsensus
+from repro.core.variants import IncreasingCommitCRW, TruncatedCRW
+from repro.errors import ConfigurationError
+from repro.lowerbound.certificates import (
+    certify_f_plus_one,
+    certify_no_run_exceeds,
+    refute_round_bound,
+    worst_case_schedule,
+)
+
+
+def crw_list(n):
+    return lambda: [CRWConsensus(pid, n, 100 + pid) for pid in range(1, n + 1)]
+
+
+def crw_map(n):
+    return lambda: {pid: CRWConsensus(pid, n, pid) for pid in range(1, n + 1)}
+
+
+class TestWorstCaseSchedule:
+    def test_structure(self):
+        sched = worst_case_schedule(3)
+        assert sched.crash_count == 3
+        for r in (1, 2, 3):
+            assert sched.event_for(r).round_no == r
+
+    def test_f_validated(self):
+        with pytest.raises(ConfigurationError):
+            worst_case_schedule(-1)
+
+
+class TestTightness:
+    @pytest.mark.parametrize("n,f", [(4, 0), (4, 2), (6, 3), (8, 5)])
+    def test_cascade_forces_exactly_f_plus_one(self, n, f):
+        cert = certify_f_plus_one(crw_list(n), f)
+        assert cert.holds, cert
+        assert cert.witness.last_decision_round == f + 1
+        assert cert.witness.f == f
+
+
+class TestUpperBoundExhaustive:
+    @pytest.mark.parametrize("n,t", [(3, 1), (3, 2), (4, 2)])
+    def test_no_run_exceeds_f_plus_one(self, n, t):
+        cert = certify_no_run_exceeds(
+            crw_map(n), max_crashes=t, max_crashes_per_round=t
+        )
+        assert cert.holds, cert
+        assert cert.leaves_checked > 1
+
+    def test_increasing_commit_order_fails_the_certificate(self):
+        # The ablation: same algorithm, commit order reversed — exhaustive
+        # search finds a run deciding after f+1 (safety intact).
+        n = 4
+
+        def make():
+            return {pid: IncreasingCommitCRW(pid, n, pid) for pid in range(1, n + 1)}
+
+        cert = certify_no_run_exceeds(make, max_crashes=2, max_crashes_per_round=2, max_rounds=5)
+        assert not cert.holds
+        # The witness run shows the excess concretely.
+        assert cert.witness is not None
+        assert cert.witness.last_decision_round > cert.witness.f + 1
+
+
+class TestRefutation:
+    @pytest.mark.parametrize("n,t", [(3, 1), (4, 1), (4, 2), (5, 2)])
+    def test_t_round_algorithm_refuted(self, n, t):
+        # Theorem 3: no algorithm decides within t rounds (for n >= t + 2,
+        # the theorem's own premise — it needs two correct processes) —
+        # instantiated on TruncatedCRW(t), the adversary search must find a
+        # violating run.
+        assert n >= t + 2
+        def make():
+            return {pid: TruncatedCRW(pid, n, pid, k=t) for pid in range(1, n + 1)}
+
+        cert = refute_round_bound(
+            make, max_crashes=t, max_rounds=t + 1, one_crash_per_round=True
+        )
+        assert cert.holds, "expected a violating run to exist"
+        assert cert.witness is not None
+        assert cert.witness.violations
+
+    def test_correct_algorithm_not_refuted(self):
+        cert = refute_round_bound(
+            crw_map(3), max_crashes=1, max_rounds=3, one_crash_per_round=True
+        )
+        assert not cert.holds
+        assert cert.witness is None
+
+    def test_n_t_plus_2_premise_is_necessary(self):
+        # With n = t + 1 = 3 the theorem's premise n >= t + 2 fails, and
+        # indeed TruncatedCRW(t=2) happens to be safe there: any round-2
+        # disagreement needs two live deciders with different estimates,
+        # but the round-2 coordinator either spreads its estimate or dies.
+        n, t = 3, 2
+
+        def make():
+            return {pid: TruncatedCRW(pid, n, pid, k=t) for pid in range(1, n + 1)}
+
+        cert = refute_round_bound(
+            make, max_crashes=t, max_rounds=t + 1, one_crash_per_round=True
+        )
+        assert not cert.holds
+
+    def test_one_crash_per_round_suffices(self):
+        # Theorem 3's adversary is restricted to one crash per round and
+        # still wins — the restriction the Aguilera-Toueg proof leans on.
+        n, t = 4, 2
+
+        def make():
+            return {pid: TruncatedCRW(pid, n, pid, k=t) for pid in range(1, n + 1)}
+
+        cert = refute_round_bound(
+            make, max_crashes=t, max_rounds=t + 1, one_crash_per_round=True
+        )
+        assert cert.holds

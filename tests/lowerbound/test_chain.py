@@ -1,0 +1,90 @@
+"""Tests for the bivalency-chain construction (Theorem 3's mechanism)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crw import CRWConsensus
+from repro.core.variants import TruncatedCRW
+from repro.errors import ConfigurationError
+from repro.lowerbound.chain import extend_bivalent_chain
+from repro.lowerbound.explorer import ExplorationConfig
+
+
+def crw_factory(proposals):
+    n = len(proposals)
+    return lambda: {
+        pid: CRWConsensus(pid, n, proposals[pid - 1]) for pid in range(1, n + 1)
+    }
+
+
+def truncated_factory(proposals, k):
+    n = len(proposals)
+    return lambda: {
+        pid: TruncatedCRW(pid, n, proposals[pid - 1], k=k) for pid in range(1, n + 1)
+    }
+
+
+class TestChainOnCRW:
+    def test_t1_chain_length_zero(self):
+        # Aguilera-Toueg's induction maintains bivalence through round t-1;
+        # with t=1 that is zero rounds: the initial configuration is
+        # bivalent, but every round-1 successor of CRW is univalent (either
+        # p1 locks its value or the single crash burns the budget and p2
+        # locks at round 2 deterministically).
+        cfg = ExplorationConfig(max_crashes=1, max_crashes_per_round=1, max_rounds=4)
+        report = extend_bivalent_chain(crw_factory([0, 1, 1]), cfg)
+        assert report.initially_bivalent
+        assert report.initial_reachable == frozenset({0, 1})
+        assert report.length == 0
+
+    def test_t2_chain_through_round_one(self):
+        # t=2: bivalence survives round 1 (kill p1 delivering its 0 to p2
+        # only — with one crash left, both "p2 locks 0" and "p2 dies, p3
+        # locks 1" remain reachable) and collapses in round 2: length t-1.
+        cfg = ExplorationConfig(max_crashes=2, max_crashes_per_round=1, max_rounds=5)
+        report = extend_bivalent_chain(crw_factory([0, 1, 1, 1]), cfg)
+        assert report.initially_bivalent
+        assert report.length == 1
+        step = report.steps[0]
+        assert step.action and step.action[0].pid == 1
+        assert step.reachable_after == frozenset({0, 1})
+
+    def test_t3_chain_through_round_two(self):
+        cfg = ExplorationConfig(max_crashes=3, max_crashes_per_round=1, max_rounds=6)
+        report = extend_bivalent_chain(crw_factory([0, 1, 1, 1, 1]), cfg)
+        assert report.initially_bivalent
+        assert report.length == 2  # t - 1
+
+    def test_univalent_start_gives_empty_chain(self):
+        cfg = ExplorationConfig(max_crashes=1, max_crashes_per_round=1, max_rounds=4)
+        report = extend_bivalent_chain(crw_factory([5, 5, 5]), cfg)
+        assert not report.initially_bivalent
+        assert report.length == 0
+
+    def test_no_budget_no_chain(self):
+        cfg = ExplorationConfig(max_crashes=0, max_rounds=3)
+        report = extend_bivalent_chain(crw_factory([0, 1, 1]), cfg)
+        # Without crashes p1 always locks in round 1: univalent immediately.
+        assert not report.initially_bivalent
+        assert report.length == 0
+
+    def test_factory_validated(self):
+        cfg = ExplorationConfig(max_crashes=1, max_rounds=3)
+        with pytest.raises(ConfigurationError):
+            extend_bivalent_chain(dict, cfg)
+
+
+class TestChainOnTruncated:
+    def test_chain_survives_past_the_deadline(self):
+        # TruncatedCRW(k=1) claims everyone decides by round 1; the chain
+        # stays bivalent *through* round 1 — the contradiction at the heart
+        # of Theorem 3: a decided-by-everyone configuration cannot be
+        # bivalent, so the claimed algorithm must disagree somewhere below.
+        cfg = ExplorationConfig(max_crashes=1, max_crashes_per_round=1, max_rounds=3)
+        report = extend_bivalent_chain(truncated_factory([0, 1, 1, 1], k=1), cfg)
+        assert report.initially_bivalent
+        assert report.length >= 1
+        step1 = report.steps[0]
+        assert step1.round_no == 1
+        assert len(step1.reachable_after) >= 2

@@ -1,0 +1,81 @@
+"""Equivalence tests for the deduplicating explorer.
+
+Pruning visited states must never change *what* is reachable — only how
+many times it is visited.  Verified by comparing the deduped walk against
+the naive walk on identical configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.crw import CRWConsensus
+from repro.core.variants import EagerCRW, TruncatedCRW
+from repro.lowerbound.explorer import ExplorationConfig, Explorer
+
+
+def crw(n):
+    return lambda: {pid: CRWConsensus(pid, n, pid) for pid in range(1, n + 1)}
+
+
+def explore(factory, cfg, dedupe):
+    return Explorer(factory, dataclasses.replace(cfg, dedupe=dedupe)).explore()
+
+
+class TestDedupeEquivalence:
+    @pytest.mark.parametrize(
+        "n,t,per",
+        [(3, 1, 1), (3, 2, 2), (4, 2, 2), (4, 3, 1)],
+    )
+    def test_same_observables_on_crw(self, n, t, per):
+        cfg = ExplorationConfig(max_crashes=t, max_crashes_per_round=per, max_rounds=t + 2)
+        naive = explore(crw(n), cfg, dedupe=False)
+        pruned = explore(crw(n), cfg, dedupe=True)
+        assert pruned.reachable_decisions == naive.reachable_decisions
+        assert pruned.worst_last_decision_round == naive.worst_last_decision_round
+        assert pruned.early_stopping_holds == naive.early_stopping_holds
+        assert pruned.ok == naive.ok
+        assert pruned.nodes <= naive.nodes
+
+    def test_dedupe_actually_prunes(self):
+        cfg = ExplorationConfig(max_crashes=3, max_crashes_per_round=3, max_rounds=5)
+        naive = explore(crw(4), cfg, dedupe=False)
+        pruned = explore(crw(4), cfg, dedupe=True)
+        assert pruned.nodes < naive.nodes
+
+    def test_violations_still_found(self):
+        n, t = 4, 1
+
+        def broken():
+            return {pid: TruncatedCRW(pid, n, pid, k=t) for pid in range(1, n + 1)}
+
+        cfg = ExplorationConfig(max_crashes=t, max_crashes_per_round=1, max_rounds=t + 1)
+        naive = explore(broken, cfg, dedupe=False)
+        pruned = explore(broken, cfg, dedupe=True)
+        assert bool(naive.violating_leaves) == bool(pruned.violating_leaves) == True  # noqa: E712
+
+    def test_eager_violations_found_pruned(self):
+        n = 3
+
+        def eager():
+            return {pid: EagerCRW(pid, n, pid) for pid in range(1, n + 1)}
+
+        cfg = ExplorationConfig(max_crashes=1, max_crashes_per_round=1, max_rounds=4, dedupe=True)
+        report = Explorer(eager, cfg).explore()
+        assert not report.ok
+
+    def test_larger_system_feasible_with_dedupe(self):
+        # n=5, t=3, up to 3 crashes/round: heavy naive, fine deduped.
+        cfg = ExplorationConfig(
+            max_crashes=3,
+            max_crashes_per_round=3,
+            max_rounds=5,
+            node_budget=5_000_000,
+            dedupe=True,
+        )
+        report = Explorer(crw(5), cfg).explore()
+        assert report.ok
+        assert report.early_stopping_holds
+        assert report.worst_last_decision_round == 4

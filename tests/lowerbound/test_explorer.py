@@ -1,0 +1,150 @@
+"""Tests for the exhaustive branching adversary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crw import CRWConsensus
+from repro.core.variants import TruncatedCRW
+from repro.errors import ConfigurationError, ExplorationBudgetExceeded
+from repro.lowerbound.explorer import ExplorationConfig, Explorer
+
+
+def crw_factory(n, proposals=None):
+    proposals = proposals or list(range(1, n + 1))
+
+    def make():
+        return {pid: CRWConsensus(pid, n, proposals[pid - 1]) for pid in range(1, n + 1)}
+
+    return make
+
+
+class TestConfigValidation:
+    def test_bad_budgets(self):
+        with pytest.raises(ConfigurationError):
+            ExplorationConfig(max_crashes=-1)
+        with pytest.raises(ConfigurationError):
+            ExplorationConfig(max_crashes=1, max_crashes_per_round=0)
+        with pytest.raises(ConfigurationError):
+            ExplorationConfig(max_crashes=1, max_rounds=0)
+
+    def test_factory_validated(self):
+        with pytest.raises(ConfigurationError):
+            Explorer(dict, ExplorationConfig(max_crashes=1))
+
+
+class TestCrashFreeTree:
+    def test_single_leaf_without_crash_budget(self):
+        report = Explorer(
+            crw_factory(3), ExplorationConfig(max_crashes=0, max_rounds=4)
+        ).explore()
+        assert report.leaves == 1
+        assert report.ok
+        assert report.worst_last_decision_round == 1
+        assert report.reachable_decisions == {1}  # p1's proposal
+
+
+class TestCRWTree:
+    @pytest.mark.parametrize("n,t", [(3, 1), (3, 2), (4, 1)])
+    def test_exhaustive_uniform_consensus(self, n, t):
+        report = Explorer(
+            crw_factory(n),
+            ExplorationConfig(max_crashes=t, max_crashes_per_round=t, max_rounds=t + 2),
+        ).explore()
+        assert report.ok, report.violating_leaves[:1]
+        assert report.early_stopping_holds
+        # Tightness: some run reaches f+1 = t+1 (cascade is in the tree).
+        assert report.worst_last_decision_round == t + 1
+
+    def test_reachable_decisions_are_proposals_prefix(self):
+        # With t=1 only p1 or p2's value can ever be decided: the first
+        # coordinator to complete line 4 is p1 or (if p1 crashed) p2 —
+        # except p1 may hand its value to p2 first, so values = {v1, v2}.
+        report = Explorer(
+            crw_factory(3), ExplorationConfig(max_crashes=1, max_rounds=3)
+        ).explore()
+        assert report.reachable_decisions == {1, 2}
+
+    def test_one_crash_per_round_smaller_tree(self):
+        wide = Explorer(
+            crw_factory(3),
+            ExplorationConfig(max_crashes=2, max_crashes_per_round=2, max_rounds=4),
+        ).explore()
+        narrow = Explorer(
+            crw_factory(3),
+            ExplorationConfig(max_crashes=2, max_crashes_per_round=1, max_rounds=4),
+        ).explore()
+        assert narrow.leaves < wide.leaves
+        assert narrow.ok and wide.ok
+
+    def test_budget_enforced(self):
+        with pytest.raises(ExplorationBudgetExceeded):
+            Explorer(
+                crw_factory(4),
+                ExplorationConfig(max_crashes=3, max_crashes_per_round=3, max_rounds=5, node_budget=50),
+            ).explore()
+
+    def test_certificates_replayable(self):
+        # Take any violating leaf of a broken algorithm and replay its
+        # schedule on a fresh engine: same violation must reproduce.
+        from repro.sync.crash import CrashSchedule
+        from repro.sync.extended import ExtendedSynchronousEngine
+        from repro.sync.spec import check_consensus
+
+        n, k = 3, 1
+
+        def make():
+            return {pid: TruncatedCRW(pid, n, pid, k=k) for pid in range(1, n + 1)}
+
+        report = Explorer(
+            make, ExplorationConfig(max_crashes=1, max_rounds=3)
+        ).explore()
+        assert report.violating_leaves
+        leaf = report.violating_leaves[0]
+        procs = list(make().values())
+        engine = ExtendedSynchronousEngine(
+            procs, CrashSchedule(leaf.schedule), t=1
+        )
+        result = engine.run()
+        replay = check_consensus(result)
+        assert replay.violations
+
+
+class TestBrokenAlgorithmsAreCaught:
+    def test_truncated_at_t_violates(self):
+        n, t = 3, 1
+
+        def make():
+            return {pid: TruncatedCRW(pid, n, pid, k=t) for pid in range(1, n + 1)}
+
+        report = Explorer(
+            make, ExplorationConfig(max_crashes=t, max_rounds=t + 2)
+        ).explore()
+        assert not report.ok
+        assert any(
+            "agreement" in v for leaf in report.violating_leaves for v in leaf.violations
+        )
+
+    def test_truncated_at_t_plus_one_is_safe(self):
+        n, t = 3, 1
+
+        def make():
+            return {pid: TruncatedCRW(pid, n, pid, k=t + 1) for pid in range(1, n + 1)}
+
+        report = Explorer(
+            make, ExplorationConfig(max_crashes=t, max_rounds=t + 2)
+        ).explore()
+        assert report.ok
+
+    def test_eager_variant_violates(self):
+        from repro.core.variants import EagerCRW
+
+        n = 3
+
+        def make():
+            return {pid: EagerCRW(pid, n, pid) for pid in range(1, n + 1)}
+
+        report = Explorer(
+            make, ExplorationConfig(max_crashes=1, max_rounds=4)
+        ).explore()
+        assert not report.ok

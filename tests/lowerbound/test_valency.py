@@ -1,0 +1,67 @@
+"""Tests for valency analysis."""
+
+from __future__ import annotations
+
+from repro.core.crw import CRWConsensus
+from repro.lowerbound.explorer import ExplorationConfig
+from repro.lowerbound.valency import (
+    find_bivalent_initial,
+    initial_valency,
+    valency_spectrum,
+)
+
+
+def crw_factory(proposals):
+    n = len(proposals)
+    return {pid: CRWConsensus(pid, n, proposals[pid - 1]) for pid in range(1, n + 1)}
+
+
+CFG = ExplorationConfig(max_crashes=1, max_crashes_per_round=1, max_rounds=3)
+
+
+class TestInitialValency:
+    def test_constant_vector_is_univalent(self):
+        # Validity forces it: only the common value is reachable.
+        report = initial_valency(crw_factory, [5, 5, 5], CFG)
+        assert report.univalent
+        assert report.reachable == {5}
+
+    def test_mixed_vector_is_bivalent_with_crashes(self):
+        # p1 alive -> decide v1; p1 dies silently -> decide v2.
+        report = initial_valency(crw_factory, [0, 1, 1], CFG)
+        assert report.bivalent
+        assert report.reachable == {0, 1}
+
+    def test_mixed_vector_univalent_without_crashes(self):
+        cfg0 = ExplorationConfig(max_crashes=0, max_rounds=2)
+        report = initial_valency(crw_factory, [0, 1, 1], cfg0)
+        assert report.univalent
+        assert report.reachable == {0}  # p1 always wins in a crash-free run
+
+
+class TestBivalentSearch:
+    def test_finds_bivalent_configuration(self):
+        # Step (1) of the bivalency proof: a bivalent initial configuration
+        # exists for binary proposals when t >= 1.
+        report = find_bivalent_initial(crw_factory, 3, CFG)
+        assert report is not None
+        assert report.bivalent
+
+    def test_no_bivalent_without_crash_budget(self):
+        cfg0 = ExplorationConfig(max_crashes=0, max_rounds=2)
+        assert find_bivalent_initial(crw_factory, 3, cfg0) is None
+
+
+class TestSpectrum:
+    def test_spectrum_shape_and_extremes(self):
+        spectrum = valency_spectrum(crw_factory, 3, CFG)
+        assert len(spectrum) == 8
+        # All-zero and all-one vectors are univalent (validity).
+        assert spectrum[0].reachable == {0}
+        assert spectrum[-1].reachable == {1}
+        # With t = 1, valency is exactly {v1, v2}: the adversary can only
+        # choose whether p1's value or p2's (post-adoption) value locks.
+        for mask in range(8):
+            v1 = 1 if mask & 1 else 0
+            v2 = 1 if mask & 2 else 0
+            assert spectrum[mask].reachable == {v1, v2}

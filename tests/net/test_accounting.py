@@ -1,0 +1,58 @@
+"""Tests for MessageStats accounting."""
+
+from __future__ import annotations
+
+from repro.net.accounting import MessageStats
+from repro.net.message import Message, MessageKind
+from repro.net.payload import SizedValue
+
+
+def _data(bits=8):
+    return Message(MessageKind.DATA, 1, 2, 1, payload=SizedValue(0, bits))
+
+
+def _control():
+    return Message(MessageKind.CONTROL, 1, 2, 1)
+
+
+class TestMessageStats:
+    def test_send_vs_deliver_separated(self):
+        s = MessageStats()
+        s.on_send(_data())
+        assert (s.data_sent, s.data_delivered) == (1, 0)
+        s.on_deliver(_data())
+        assert (s.data_sent, s.data_delivered) == (1, 1)
+
+    def test_bits_accumulate(self):
+        s = MessageStats()
+        s.on_send(_data(10))
+        s.on_send(_control())
+        assert s.bits_sent == 11
+        assert s.bits_delivered == 0
+
+    def test_kind_routing(self):
+        s = MessageStats()
+        s.on_send(Message(MessageKind.ASYNC, 1, 2, 1, payload=SizedValue(0, 8), tag="x"))
+        s.on_send(Message(MessageKind.MARKER, 1, 2))
+        s.on_send(_control())
+        s.on_send(_data())
+        assert s.async_sent == 1
+        assert s.marker_sent == 1
+        assert s.control_sent == 1
+        assert s.data_sent == 1
+        assert s.messages_sent == 4
+
+    def test_merge(self):
+        a, b = MessageStats(), MessageStats()
+        a.on_send(_data(8))
+        b.on_send(_control())
+        b.on_deliver(_control())
+        a.merge(b)
+        assert a.messages_sent == 2
+        assert a.control_delivered == 1
+        assert a.bits_sent == 9
+
+    def test_str_smoke(self):
+        s = MessageStats()
+        s.on_send(_data())
+        assert "data 1/0" in str(s)

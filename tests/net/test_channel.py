@@ -1,0 +1,87 @@
+"""Tests for FIFO channels and the channel network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.channel import ChannelNetwork, FifoChannel
+from repro.net.message import Message, MessageKind
+
+
+def _msg(s, d, payload=0):
+    return Message(MessageKind.DATA, s, d, 1, payload=payload)
+
+
+class TestFifoChannel:
+    def test_no_self_channel(self):
+        with pytest.raises(ConfigurationError):
+            FifoChannel(1, 1)
+
+    def test_fifo_order(self):
+        ch = FifoChannel(1, 2)
+        for k in range(5):
+            ch.send(_msg(1, 2, payload=k))
+        got = [ch.deliver().payload for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_wrong_endpoints_rejected(self):
+        ch = FifoChannel(1, 2)
+        with pytest.raises(SimulationError):
+            ch.send(_msg(2, 1))
+
+    def test_deliver_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            FifoChannel(1, 2).deliver()
+
+    def test_peek_nondestructive(self):
+        ch = FifoChannel(1, 2)
+        ch.send(_msg(1, 2, payload=9))
+        assert ch.peek().payload == 9
+        assert len(ch) == 1
+
+    def test_peek_empty(self):
+        assert FifoChannel(1, 2).peek() is None
+
+    def test_in_transit_snapshot(self):
+        ch = FifoChannel(1, 2)
+        ch.send(_msg(1, 2, payload=1))
+        ch.send(_msg(1, 2, payload=2))
+        assert [m.payload for m in ch.in_transit] == [1, 2]
+
+    def test_delivered_count(self):
+        ch = FifoChannel(1, 2)
+        ch.send(_msg(1, 2))
+        ch.deliver()
+        assert ch.delivered_count == 1
+
+
+class TestChannelNetwork:
+    def test_requires_two_processes(self):
+        with pytest.raises(ConfigurationError):
+            ChannelNetwork(1)
+
+    def test_full_matrix(self):
+        net = ChannelNetwork(4)
+        assert len(net.incoming(1)) == 3
+        assert len(net.outgoing(1)) == 3
+
+    def test_unknown_channel_rejected(self):
+        net = ChannelNetwork(3)
+        with pytest.raises(ConfigurationError):
+            net.channel(1, 4)
+        with pytest.raises(ConfigurationError):
+            net.channel(2, 2)
+
+    def test_routing(self):
+        net = ChannelNetwork(3)
+        net.send(_msg(1, 3))
+        assert len(net.channel(1, 3)) == 1
+        assert len(net.channel(3, 1)) == 0
+
+    def test_nonempty_and_total(self):
+        net = ChannelNetwork(3)
+        net.send(_msg(1, 2))
+        net.send(_msg(1, 3))
+        assert net.total_in_transit() == 2
+        assert {(c.sender, c.dest) for c in net.nonempty()} == {(1, 2), (1, 3)}

@@ -1,0 +1,39 @@
+"""Tests for Message bit accounting per kind."""
+
+from __future__ import annotations
+
+from repro.net.message import Message, MessageKind
+from repro.net.payload import SizedValue
+
+
+class TestMessageBits:
+    def test_control_is_one_bit(self):
+        # Theorem 2: a commit message costs exactly one bit.
+        msg = Message(MessageKind.CONTROL, 1, 2, 1)
+        assert msg.bits() == 1
+
+    def test_marker_is_one_bit(self):
+        assert Message(MessageKind.MARKER, 1, 2).bits() == 1
+
+    def test_data_costs_payload(self):
+        msg = Message(MessageKind.DATA, 1, 2, 1, payload=SizedValue(7, 64))
+        assert msg.bits() == 64
+
+    def test_async_carries_round_header(self):
+        # Section 4: asynchronous messages must carry their round number.
+        data = Message(MessageKind.DATA, 1, 2, 5, payload=SizedValue(7, 64))
+        asy = Message(MessageKind.ASYNC, 1, 2, 5, payload=SizedValue(7, 64), tag="EST")
+        assert asy.bits() == data.bits() + 40
+
+    def test_immutable(self):
+        msg = Message(MessageKind.DATA, 1, 2, 1, payload=1)
+        try:
+            msg.payload = 2  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_str_mentions_endpoints(self):
+        s = str(Message(MessageKind.DATA, 3, 4, 2, payload=9))
+        assert "3->4" in s and "r2" in s

@@ -1,0 +1,80 @@
+"""Tests for payload bit-sizing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net.payload import SizedValue, bit_size
+
+
+class TestBitSize:
+    def test_none_is_zero(self):
+        assert bit_size(None) == 0
+
+    def test_bool_is_one(self):
+        assert bit_size(True) == 1
+        assert bit_size(False) == 1
+
+    def test_int_width(self):
+        assert bit_size(0) == 2  # 1 magnitude bit + sign
+        assert bit_size(1) == 2
+        assert bit_size(255) == 9
+        assert bit_size(-255) == 9
+
+    def test_float_is_64(self):
+        assert bit_size(3.14) == 64
+
+    def test_str_utf8(self):
+        assert bit_size("ab") == 16
+        assert bit_size("é") == 16  # two UTF-8 bytes
+
+    def test_bytes(self):
+        assert bit_size(b"abc") == 24
+
+    def test_tuple_framing(self):
+        assert bit_size((True, True)) == 8 + 2
+
+    def test_dict_framing(self):
+        assert bit_size({True: False}) == 8 + 2
+
+    def test_nested(self):
+        inner = bit_size((1, 2))
+        assert bit_size(((1, 2),)) == 8 + inner
+
+    def test_unsizable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bit_size(object())
+
+    def test_object_with_bit_size_method(self):
+        class Custom:
+            def bit_size(self):
+                return 17
+
+        assert bit_size(Custom()) == 17
+
+    @given(st.integers())
+    def test_int_symmetry(self, v):
+        assert bit_size(v) == bit_size(-v)
+
+
+class TestSizedValue:
+    def test_declared_width_wins(self):
+        assert bit_size(SizedValue("anything", 1024)) == 1024
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SizedValue(1, 0)
+
+    def test_equality_semantic(self):
+        assert SizedValue(5, 64) == SizedValue(5, 64)
+        assert SizedValue(5, 64) != SizedValue(6, 64)
+        assert SizedValue(5, 64) != SizedValue(5, 32)
+
+    def test_hashable(self):
+        assert len({SizedValue(1, 8), SizedValue(1, 8)}) == 1
+
+    def test_inside_containers(self):
+        assert bit_size((SizedValue(1, 100),)) == 108

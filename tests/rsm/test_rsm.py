@@ -1,0 +1,154 @@
+"""Tests for the replicated state machine on multi-shot consensus."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rsm.log import ReplicatedLog
+from repro.rsm.machine import Command, Counter, KVStore
+from repro.sync.crash import CrashEvent, CrashPoint
+from repro.util.rng import RandomSource
+
+
+class TestMachines:
+    def test_kv_ops(self):
+        kv = KVStore()
+        kv.apply(Command(1, "set a 1"))
+        kv.apply(Command(2, "set b 2"))
+        assert kv.apply(Command(1, "del b")) == "2"
+        assert kv.snapshot() == (("a", "1"),)
+
+    def test_kv_bad_ops(self):
+        kv = KVStore()
+        with pytest.raises(ConfigurationError):
+            kv.apply(Command(1, "set a"))
+        with pytest.raises(ConfigurationError):
+            kv.apply(Command(1, "frobnicate"))
+        with pytest.raises(ConfigurationError):
+            kv.apply(Command(1, ""))
+
+    def test_counter(self):
+        c = Counter()
+        c.apply(Command(1, "add 5"))
+        c.apply(Command(2, "sub 2"))
+        assert c.snapshot() == 3
+        with pytest.raises(ConfigurationError):
+            c.apply(Command(1, "mul 2"))
+
+    def test_digest_equality(self):
+        a, b = KVStore(), KVStore()
+        for m in (a, b):
+            m.apply(Command(1, "set x 1"))
+        assert a.digest() == b.digest()
+        b.apply(Command(1, "set x 2"))
+        assert a.digest() != b.digest()
+
+    def test_command_bit_size(self):
+        assert Command(1, "noop").bit_size() == 16 + 8 * 4
+
+
+class TestReplicatedLog:
+    def test_needs_two_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatedLog(1, KVStore)
+
+    def test_failure_free_slots_single_round(self):
+        log = ReplicatedLog(4, KVStore, rng=RandomSource(1))
+        for k in range(5):
+            slot = log.commit({1: Command(1, f"set k{k} v{k}")})
+            assert slot.rounds == 1
+            assert slot.decided == Command(1, f"set k{k} v{k}")
+            assert slot.appended_to == (1, 2, 3, 4)
+        assert log.check_invariants() == []
+        assert all(len(r.log) == 5 for r in log.replicas.values())
+
+    def test_competing_commands_one_wins(self):
+        log = ReplicatedLog(3, KVStore, rng=RandomSource(1))
+        slot = log.commit(
+            {1: Command(1, "set k a"), 2: Command(2, "set k b"), 3: Command(3, "set k c")}
+        )
+        # p1 coordinates round 1: its command wins.
+        assert slot.decided == Command(1, "set k a")
+        assert log.check_invariants() == []
+
+    def test_crash_mid_slot_persists(self):
+        log = ReplicatedLog(4, KVStore, t=2, rng=RandomSource(1))
+        slot1 = log.commit(
+            {2: Command(2, "set a 1")},
+            crash_events=[
+                CrashEvent(1, 1, CrashPoint.DURING_DATA, data_subset=frozenset())
+            ],
+        )
+        assert slot1.new_crashes == (1,)
+        assert slot1.rounds == 2  # p1 died -> p2 takes round 2
+        # Slot 2: p1 stays dead; coordinator p2 leads from round 2 on.
+        slot2 = log.commit({2: Command(2, "set b 2")})
+        assert 1 not in slot2.appended_to
+        assert slot2.rounds == 2
+        assert log.live_pids == [2, 3, 4]
+        assert log.check_invariants() == []
+
+    def test_crashed_replica_log_is_prefix(self):
+        log = ReplicatedLog(3, KVStore, t=1, rng=RandomSource(1))
+        log.commit({1: Command(1, "set a 1")})
+        log.commit(
+            {2: Command(2, "set b 2")},
+            crash_events=[CrashEvent(3, 1, CrashPoint.BEFORE_SEND)],
+        )
+        log.commit({2: Command(2, "set c 3")})
+        assert log.check_invariants() == []
+        assert len(log.replicas[3].log) < len(log.replicas[1].log)
+
+    def test_crash_budget_enforced(self):
+        log = ReplicatedLog(3, KVStore, t=1, rng=RandomSource(1))
+        log.commit(
+            {1: Command(1, "noop")},
+            crash_events=[CrashEvent(1, 1, CrashPoint.BEFORE_SEND)],
+        )
+        with pytest.raises(ConfigurationError):
+            log.commit(
+                {2: Command(2, "noop")},
+                crash_events=[CrashEvent(2, 1, CrashPoint.BEFORE_SEND)],
+            )
+
+    def test_noop_fill_in(self):
+        log = ReplicatedLog(3, KVStore, rng=RandomSource(1))
+        slot = log.commit({})  # nobody proposed: noops only
+        assert slot.decided.op == "noop"
+        assert log.check_invariants() == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_property_replicas_converge(self, data):
+        n = data.draw(st.integers(3, 6), label="n")
+        t = n - 1
+        slots = data.draw(st.integers(1, 6), label="slots")
+        seed = data.draw(st.integers(0, 2**32), label="seed")
+        log = ReplicatedLog(n, Counter, t=t, rng=RandomSource(seed))
+        crash_budget = t
+        for s in range(slots):
+            events = []
+            live = log.live_pids
+            if crash_budget > 0 and len(live) > 1 and data.draw(st.booleans(), label=f"crash{s}"):
+                victim = data.draw(st.sampled_from(live), label=f"victim{s}")
+                round_no = data.draw(st.integers(1, 3), label=f"round{s}")
+                events.append(
+                    CrashEvent(
+                        victim,
+                        round_no,
+                        CrashPoint.DURING_DATA,
+                        data_subset=frozenset(
+                            data.draw(
+                                st.lists(st.integers(1, n), max_size=n, unique=True),
+                                label=f"subset{s}",
+                            )
+                        ),
+                    )
+                )
+                crash_budget -= 1
+            proposer = data.draw(st.sampled_from(log.live_pids), label=f"proposer{s}")
+            log.commit({proposer: Command(proposer, f"add {s + 1}")}, events)
+        assert log.check_invariants() == []

@@ -1,0 +1,92 @@
+"""Stateful property testing of the replicated log.
+
+Hypothesis drives a random interleaving of slot commits (from arbitrary
+live proposers) and crash injections (any live replica, any round, any
+delivered subset), re-checking the replication invariants after every
+step.  This subsumes a large family of hand-written multi-slot scenarios.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.rsm.log import ReplicatedLog
+from repro.rsm.machine import Command, KVStore
+from repro.sync.crash import CrashEvent, CrashPoint
+from repro.util.rng import RandomSource
+
+
+class ReplicatedLogMachine(RuleBasedStateMachine):
+    @initialize(
+        n=st.integers(3, 6),
+        seed=st.integers(0, 2**32),
+    )
+    def setup(self, n, seed):
+        self.n = n
+        self.t = n - 1
+        self.log = ReplicatedLog(n, KVStore, t=self.t, rng=RandomSource(seed))
+        self.crashes_left = self.t
+        self.committed = 0
+
+    @rule(data=st.data())
+    def commit_clean_slot(self, data):
+        live = self.log.live_pids
+        proposer = data.draw(st.sampled_from(live), label="proposer")
+        slot = self.log.commit(
+            {proposer: Command(proposer, f"set k{self.committed} v{proposer}")}
+        )
+        self.committed += 1
+        assert slot.violations == ()
+        assert slot.decided is not None
+
+    @rule(data=st.data())
+    def commit_slot_with_crash(self, data):
+        live = self.log.live_pids
+        if self.crashes_left == 0 or len(live) <= 1:
+            return
+        proposer = data.draw(st.sampled_from(live), label="proposer")
+        victim = data.draw(st.sampled_from(live), label="victim")
+        round_no = data.draw(st.integers(1, 3), label="round")
+        subset = frozenset(
+            data.draw(
+                st.lists(st.integers(1, self.n), max_size=self.n, unique=True),
+                label="subset",
+            )
+        )
+        point = data.draw(
+            st.sampled_from(
+                [CrashPoint.BEFORE_SEND, CrashPoint.DURING_DATA, CrashPoint.DURING_CONTROL]
+            ),
+            label="point",
+        )
+        prefix = data.draw(st.integers(0, self.n), label="prefix")
+        slot = self.log.commit(
+            {proposer: Command(proposer, f"set k{self.committed} v{proposer}")},
+            crash_events=[
+                CrashEvent(
+                    victim, round_no, point, data_subset=subset, control_prefix=prefix
+                )
+            ],
+        )
+        self.committed += 1
+        self.crashes_left -= len(slot.new_crashes)
+        assert slot.violations == ()
+
+    @invariant()
+    def replication_invariants_hold(self):
+        if hasattr(self, "log"):
+            assert self.log.check_invariants() == []
+
+    @invariant()
+    def live_replicas_have_full_log(self):
+        if hasattr(self, "log"):
+            for pid in self.log.live_pids:
+                assert len(self.log.replicas[pid].log) == self.committed
+
+
+TestReplicatedLogStateful = ReplicatedLogMachine.TestCase
+TestReplicatedLogStateful.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)

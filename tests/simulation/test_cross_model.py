@@ -1,0 +1,163 @@
+"""Tests for the computability-equivalence simulations (Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.floodset import FloodSetConsensus
+from repro.core.crw import CRWConsensus
+from repro.errors import ConfigurationError, ModelViolationError
+from repro.simulation.classic_on_extended import run_classic_on_extended
+from repro.simulation.extended_on_classic import (
+    CTRL,
+    run_extended_on_classic,
+    translate_schedule,
+)
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule, Prefix
+from repro.sync.spec import assert_consensus
+from repro.util.rng import RandomSource
+
+
+def crw_factory(n, proposals=None):
+    proposals = proposals or [100 + pid for pid in range(1, n + 1)]
+    return lambda: [CRWConsensus(pid, n, proposals[pid - 1]) for pid in range(1, n + 1)]
+
+
+class TestExtendedOnClassic:
+    def test_failure_free_decides_in_one_block(self):
+        n = 4
+        result = run_extended_on_classic(crw_factory(n))
+        assert_consensus(result)
+        assert set(result.decisions.values()) == {101}
+        # One extended round = n classic rounds.
+        assert result.rounds_executed == n
+        assert all(r == n for r in result.decision_rounds.values())
+
+    def test_block_blowup_with_crashes(self):
+        # f coordinator crashes -> f+1 blocks -> (f+1)*n classic rounds.
+        n, f = 4, 2
+        sched = CrashSchedule(
+            [
+                CrashEvent(r, r, CrashPoint.DURING_DATA, data_subset=frozenset())
+                for r in range(1, f + 1)
+            ]
+        )
+        result = run_extended_on_classic(crw_factory(n), sched, t=f)
+        assert_consensus(result)
+        assert result.last_decision_round == (f + 1) * n
+
+    def test_prefix_semantics_preserved(self):
+        # p1 completes data, delivers exactly 1 commit (to p_n): same
+        # decision pattern as the native extended run.
+        n = 4
+        sched = CrashSchedule(
+            [CrashEvent(1, 1, CrashPoint.DURING_CONTROL, control_prefix=1)]
+        )
+        result = run_extended_on_classic(crw_factory(n), sched, t=1)
+        assert_consensus(result)
+        rounds = result.decision_rounds
+        # p4 (first in decreasing commit order) decides in block 1,
+        # survivors p2, p3 decide in block 2.
+        assert rounds[4] == n
+        assert rounds[2] == rounds[3] == 2 * n
+
+    def test_partial_data_subset_preserved(self):
+        n = 4
+        sched = CrashSchedule(
+            [CrashEvent(1, 1, CrashPoint.DURING_DATA, data_subset=frozenset({2}))]
+        )
+        result = run_extended_on_classic(crw_factory(n), sched, t=1)
+        assert_consensus(result)
+        assert set(result.decisions.values()) == {101}  # p2 relays p1's value
+
+    def test_control_bits_cost_one_bit(self):
+        from repro.net.payload import bit_size
+
+        n = 3
+        result = run_extended_on_classic(crw_factory(n))
+        # p1's two data payloads plus two 1-bit CTRL stand-ins.
+        assert CTRL.bit_size() == 1
+        assert result.stats.bits_sent == 2 * bit_size(101) + 2 * 1
+
+    def test_random_prefix_translation_rejected(self):
+        sched = CrashSchedule(
+            [
+                CrashEvent(
+                    1, 1, CrashPoint.DURING_CONTROL, control_policy=Prefix.RANDOM
+                )
+            ]
+        )
+        with pytest.raises(ConfigurationError):
+            translate_schedule(sched, 4)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_property_adapter_preserves_consensus(self, data):
+        n = data.draw(st.integers(2, 5), label="n")
+        f = data.draw(st.integers(0, n - 1), label="f")
+        proposals = data.draw(
+            st.lists(st.integers(0, 3), min_size=n, max_size=n), label="proposals"
+        )
+        events = []
+        for r in range(1, f + 1):
+            point = data.draw(
+                st.sampled_from(
+                    [CrashPoint.BEFORE_SEND, CrashPoint.DURING_DATA, CrashPoint.DURING_CONTROL, CrashPoint.AFTER_SEND]
+                ),
+                label=f"point{r}",
+            )
+            subset = frozenset(
+                data.draw(st.lists(st.integers(1, n), max_size=n, unique=True), label=f"sub{r}")
+            )
+            prefix = data.draw(st.integers(0, n - 1), label=f"pre{r}")
+            events.append(
+                CrashEvent(
+                    r, r, point, data_subset=subset, control_prefix=prefix
+                )
+            )
+        result = run_extended_on_classic(
+            crw_factory(n, proposals), CrashSchedule(events), t=n - 1
+        )
+        assert_consensus(result)
+        # Block-scaled early stopping: decisions within (f'+1)*n classic rounds.
+        assert result.last_decision_round <= (result.f + 1) * n
+
+
+class TestClassicOnExtended:
+    def test_floodset_unchanged_on_extended_engine(self):
+        n, t = 4, 2
+        factory = lambda: [
+            FloodSetConsensus(pid, n, 100 + pid, t) for pid in range(1, n + 1)
+        ]
+        result = run_classic_on_extended(factory, t=t)
+        assert_consensus(result)
+        assert result.rounds_executed == t + 1
+        assert set(result.decisions.values()) == {101}
+
+    def test_control_messages_policed(self):
+        n = 3
+        factory = crw_factory(n)  # CRW *does* send control messages
+        with pytest.raises(ModelViolationError):
+            run_classic_on_extended(factory, t=1)
+
+    def test_same_decisions_both_engines(self):
+        # The embedding is the identity: same seed, same schedule, same
+        # decisions and rounds on either engine.
+        from repro.sync.engine import ClassicSynchronousEngine
+
+        n, t = 5, 2
+        sched = CrashSchedule(
+            [CrashEvent(2, 1, CrashPoint.DURING_DATA, data_subset=frozenset({1, 3}))]
+        )
+
+        def factory():
+            return [FloodSetConsensus(pid, n, 100 + pid, t) for pid in range(1, n + 1)]
+
+        native = ClassicSynchronousEngine(
+            list(factory()), sched, t=t, rng=RandomSource(1)
+        ).run()
+        embedded = run_classic_on_extended(factory, sched, t=t, rng=RandomSource(1))
+        assert native.decisions == embedded.decisions
+        assert native.decision_rounds == embedded.decision_rounds

@@ -1,0 +1,63 @@
+"""Concurrent snapshot initiators — the classic Chandy-Lamport extension.
+
+The original paper allows any number of processes to *spontaneously*
+initiate: markers race, each process records at its first marker (or its
+own initiation), and the result is still one consistent cut.  These tests
+pin that behaviour on our implementation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snapshot.chandy_lamport import TransferSystem
+from repro.util.rng import RandomSource
+
+
+class TestConcurrentInitiators:
+    def test_two_simultaneous_initiators(self):
+        sys_ = TransferSystem(4, rng=RandomSource(5))
+        sys_.random_traffic(transfers=80, horizon=30.0)
+        sys_.initiate_snapshot(1, at=10.0)
+        sys_.initiate_snapshot(3, at=10.0)
+        sys_.run(until=50_000.0)
+        assert sys_.snapshot_complete
+        assert sys_.check_consistency() == []
+
+    def test_staggered_initiators(self):
+        sys_ = TransferSystem(5, rng=RandomSource(6))
+        sys_.random_traffic(transfers=100, horizon=40.0)
+        sys_.initiate_snapshot(2, at=5.0)
+        sys_.initiate_snapshot(5, at=15.0)  # may arrive after 2's markers
+        sys_.run(until=50_000.0)
+        assert sys_.snapshot_complete
+        assert sys_.check_consistency() == []
+
+    def test_all_processes_initiate(self):
+        sys_ = TransferSystem(3, rng=RandomSource(7))
+        sys_.random_traffic(transfers=40, horizon=20.0)
+        for pid in (1, 2, 3):
+            sys_.initiate_snapshot(pid, at=float(pid))
+        sys_.run(until=50_000.0)
+        assert sys_.snapshot_complete
+        assert sys_.check_consistency() == []
+        # Still exactly one marker per directed channel.
+        assert sys_.markers_sent == 3 * 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32),
+        n=st.integers(2, 5),
+        k=st.integers(1, 5),
+    )
+    def test_property_any_initiator_set_is_consistent(self, seed, n, k):
+        rng = RandomSource(seed)
+        sys_ = TransferSystem(n, rng=rng)
+        sys_.random_traffic(transfers=60, horizon=25.0)
+        initiators = rng.sample(range(1, n + 1), min(k, n))
+        for pid in initiators:
+            sys_.initiate_snapshot(pid, at=rng.uniform(0.0, 30.0))
+        sys_.run(until=100_000.0)
+        assert sys_.snapshot_complete
+        assert sys_.check_consistency() == []

@@ -1,0 +1,95 @@
+"""Tests for adversary strategies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sync.adversary import (
+    CommitSplitter,
+    CoordinatorKiller,
+    NoCrash,
+    RandomCrashes,
+    StaggeredKiller,
+)
+from repro.sync.crash import CrashPoint, Subset
+from repro.util.rng import RandomSource
+
+
+class TestNoCrash:
+    def test_empty_schedule(self):
+        assert NoCrash().schedule(5, 2, RandomSource(1)).crash_count == 0
+
+
+class TestRandomCrashes:
+    def test_f_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RandomCrashes(f=3).schedule(5, 2, RandomSource(1))
+        with pytest.raises(ConfigurationError):
+            RandomCrashes(f=-1).schedule(5, 2, RandomSource(1))
+
+    def test_f_equal_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomCrashes(f=3).schedule(3, 3, RandomSource(1))
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(0, 3))
+    def test_schedule_shape(self, seed, f):
+        sched = RandomCrashes(f=f).schedule(8, 3 if f <= 3 else f, RandomSource(seed))
+        assert sched.crash_count == f
+        for ev in sched.events.values():
+            assert 1 <= ev.round_no <= f + 1
+
+    def test_horizon_override(self):
+        sched = RandomCrashes(f=2, max_round=1).schedule(8, 3, RandomSource(5))
+        assert all(ev.round_no == 1 for ev in sched.events.values())
+
+
+class TestCoordinatorKiller:
+    def test_kills_first_f_coordinators_in_their_rounds(self):
+        sched = CoordinatorKiller(f=3).schedule(8, 3, RandomSource(1))
+        assert sched.crash_count == 3
+        for r in (1, 2, 3):
+            ev = sched.event_for(r)
+            assert ev is not None
+            assert ev.round_no == r
+            assert ev.point is CrashPoint.DURING_DATA
+            assert ev.data_policy is Subset.NONE
+
+    def test_deliver_subset_variant(self):
+        sched = CoordinatorKiller(f=2, deliver_to_none=False).schedule(
+            8, 3, RandomSource(1)
+        )
+        assert all(ev.data_policy is Subset.RANDOM for ev in sched.events.values())
+
+    def test_zero_f(self):
+        assert CoordinatorKiller(f=0).schedule(8, 3, RandomSource(1)).crash_count == 0
+
+
+class TestCommitSplitter:
+    def test_last_crash_is_control_step(self):
+        sched = CommitSplitter(f=2, prefix_len=1).schedule(8, 3, RandomSource(1))
+        ev1, ev2 = sched.event_for(1), sched.event_for(2)
+        assert ev1.point is CrashPoint.DURING_DATA
+        assert ev2.point is CrashPoint.DURING_CONTROL
+        assert ev2.control_prefix == 1
+
+    def test_f_zero_is_failure_free(self):
+        assert CommitSplitter(f=0).schedule(8, 3, RandomSource(1)).crash_count == 0
+
+    def test_single_crash_is_splitter(self):
+        sched = CommitSplitter(f=1, prefix_len=2).schedule(8, 3, RandomSource(1))
+        assert sched.event_for(1).point is CrashPoint.DURING_CONTROL
+
+
+class TestStaggeredKiller:
+    def test_victims_are_top_ids(self):
+        sched = StaggeredKiller(f=3).schedule(8, 3, RandomSource(1))
+        assert sorted(sched.events) == [6, 7, 8]
+        rounds = sorted(ev.round_no for ev in sched.events.values())
+        assert rounds == [1, 2, 3]
+
+    def test_first_round_validated(self):
+        with pytest.raises(ConfigurationError):
+            StaggeredKiller(f=1, first_round=0).schedule(8, 3, RandomSource(1))

@@ -1,0 +1,81 @@
+"""Tests for SendPlan / RoundInbox / SyncProcess basics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ModelViolationError
+from repro.sync.api import NO_SEND, RoundInbox, SendPlan, SyncProcess
+
+
+class Echo(SyncProcess):
+    """Minimal concrete process for API testing."""
+
+    def send_phase(self, round_no):
+        return NO_SEND
+
+    def compute_phase(self, round_no, inbox):
+        return None
+
+
+class TestSendPlan:
+    def test_valid_plan(self):
+        SendPlan(data={2: "x"}, control=(3, 2)).validate(1, 3, allow_control=True)
+
+    def test_self_data_rejected(self):
+        with pytest.raises(ModelViolationError):
+            SendPlan(data={1: "x"}).validate(1, 3, allow_control=True)
+
+    def test_out_of_range_data_rejected(self):
+        with pytest.raises(ModelViolationError):
+            SendPlan(data={4: "x"}).validate(1, 3, allow_control=True)
+
+    def test_control_in_classic_rejected(self):
+        with pytest.raises(ModelViolationError):
+            SendPlan(control=(2,)).validate(1, 3, allow_control=False)
+
+    def test_duplicate_control_rejected(self):
+        # At most one control message per channel per round.
+        with pytest.raises(ModelViolationError):
+            SendPlan(control=(2, 2)).validate(1, 3, allow_control=True)
+
+    def test_self_control_rejected(self):
+        with pytest.raises(ModelViolationError):
+            SendPlan(control=(1,)).validate(1, 3, allow_control=True)
+
+    def test_empty_plan_valid_everywhere(self):
+        NO_SEND.validate(1, 3, allow_control=False)
+        NO_SEND.validate(1, 3, allow_control=True)
+
+
+class TestRoundInbox:
+    def test_empty(self):
+        assert RoundInbox().empty
+
+    def test_nonempty_with_control_only(self):
+        assert not RoundInbox(control=frozenset({1})).empty
+
+
+class TestSyncProcess:
+    def test_pid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Echo(0, 3)
+        with pytest.raises(ConfigurationError):
+            Echo(4, 3)
+
+    def test_minimum_system_size(self):
+        with pytest.raises(ConfigurationError):
+            Echo(1, 1)
+
+    def test_decide_once(self):
+        p = Echo(1, 3)
+        p.decide(42)
+        assert p.decided and p.decision == 42
+        with pytest.raises(ModelViolationError):
+            p.decide(42)
+
+    def test_repr_states(self):
+        p = Echo(2, 3)
+        assert "running" in repr(p)
+        p.decide(1)
+        assert "decided=1" in repr(p)

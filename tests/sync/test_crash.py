@@ -1,0 +1,140 @@
+"""Tests for crash events, delivery resolution, and schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sync.crash import (
+    CrashEvent,
+    CrashPoint,
+    CrashSchedule,
+    Prefix,
+    Subset,
+)
+from repro.util.rng import RandomSource
+
+
+class TestCrashEventValidation:
+    def test_round_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CrashEvent(1, 0, CrashPoint.BEFORE_SEND)
+
+    def test_pid_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CrashEvent(0, 1, CrashPoint.BEFORE_SEND)
+
+    def test_negative_prefix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrashEvent(1, 1, CrashPoint.DURING_CONTROL, control_prefix=-1)
+
+
+class TestResolution:
+    PLANNED_DATA = [2, 3, 4, 5]
+    PLANNED_CONTROL = (5, 4, 3, 2)
+
+    def test_before_send_delivers_nothing(self):
+        ev = CrashEvent(1, 1, CrashPoint.BEFORE_SEND)
+        rc = ev.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, None)
+        assert rc.data_subset == frozenset()
+        assert rc.control_prefix == 0
+
+    def test_during_data_no_control(self):
+        # Control strictly follows data: a data-step crash sends no commit.
+        ev = CrashEvent(1, 1, CrashPoint.DURING_DATA, data_policy=Subset.ALL)
+        rc = ev.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, None)
+        assert rc.data_subset == frozenset(self.PLANNED_DATA)
+        assert rc.control_prefix == 0
+
+    def test_during_control_delivers_all_data(self):
+        # COMMIT step implies the data step completed.
+        ev = CrashEvent(1, 1, CrashPoint.DURING_CONTROL, control_prefix=2)
+        rc = ev.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, None)
+        assert rc.data_subset == frozenset(self.PLANNED_DATA)
+        assert rc.control_prefix == 2
+
+    def test_after_send_delivers_everything(self):
+        ev = CrashEvent(1, 1, CrashPoint.AFTER_SEND)
+        rc = ev.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, None)
+        assert rc.data_subset == frozenset(self.PLANNED_DATA)
+        assert rc.control_prefix == len(self.PLANNED_CONTROL)
+
+    def test_explicit_subset_intersected_with_plan(self):
+        ev = CrashEvent(
+            1, 1, CrashPoint.DURING_DATA, data_subset=frozenset({3, 9})
+        )
+        rc = ev.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, None)
+        assert rc.data_subset == frozenset({3})
+
+    def test_explicit_prefix_clamped(self):
+        ev = CrashEvent(1, 1, CrashPoint.DURING_CONTROL, control_prefix=99)
+        rc = ev.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, None)
+        assert rc.control_prefix == len(self.PLANNED_CONTROL)
+
+    def test_policy_none(self):
+        ev = CrashEvent(1, 1, CrashPoint.DURING_DATA, data_policy=Subset.NONE)
+        rc = ev.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, None)
+        assert rc.data_subset == frozenset()
+
+    def test_random_policy_needs_rng(self):
+        ev = CrashEvent(1, 1, CrashPoint.DURING_DATA, data_policy=Subset.RANDOM)
+        with pytest.raises(ConfigurationError):
+            ev.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, None)
+        ev2 = CrashEvent(1, 1, CrashPoint.DURING_CONTROL, control_policy=Prefix.RANDOM)
+        with pytest.raises(ConfigurationError):
+            ev2.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, None)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_subset_is_subset_of_plan(self, seed):
+        ev = CrashEvent(1, 1, CrashPoint.DURING_DATA, data_policy=Subset.RANDOM)
+        rc = ev.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, RandomSource(seed))
+        assert rc.data_subset <= frozenset(self.PLANNED_DATA)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_prefix_in_range(self, seed):
+        ev = CrashEvent(1, 1, CrashPoint.DURING_CONTROL, control_policy=Prefix.RANDOM)
+        rc = ev.resolve(self.PLANNED_DATA, self.PLANNED_CONTROL, RandomSource(seed))
+        assert 0 <= rc.control_prefix <= len(self.PLANNED_CONTROL)
+
+
+class TestCrashSchedule:
+    def test_one_crash_per_process(self):
+        ev = CrashEvent(1, 1, CrashPoint.BEFORE_SEND)
+        with pytest.raises(ConfigurationError):
+            CrashSchedule([ev, CrashEvent(1, 2, CrashPoint.BEFORE_SEND)])
+
+    def test_crashes_in_round_sorted(self):
+        sched = CrashSchedule(
+            [
+                CrashEvent(3, 1, CrashPoint.BEFORE_SEND),
+                CrashEvent(1, 1, CrashPoint.BEFORE_SEND),
+                CrashEvent(2, 2, CrashPoint.BEFORE_SEND),
+            ]
+        )
+        assert [e.pid for e in sched.crashes_in_round(1)] == [1, 3]
+        assert sched.crash_count == 3
+
+    def test_validate_against_t(self):
+        sched = CrashSchedule([CrashEvent(1, 1, CrashPoint.BEFORE_SEND)])
+        sched.validate(n=3, t=1)
+        with pytest.raises(ConfigurationError):
+            sched.validate(n=3, t=0)
+
+    def test_validate_against_n(self):
+        sched = CrashSchedule([CrashEvent(5, 1, CrashPoint.BEFORE_SEND)])
+        with pytest.raises(ConfigurationError):
+            sched.validate(n=3, t=2)
+
+    def test_none_schedule(self):
+        assert CrashSchedule.none().crash_count == 0
+
+    def test_event_for(self):
+        ev = CrashEvent(2, 1, CrashPoint.BEFORE_SEND)
+        sched = CrashSchedule([ev])
+        assert sched.event_for(2) is ev
+        assert sched.event_for(1) is None
+
+    def test_repr_smoke(self):
+        assert "failure-free" in repr(CrashSchedule.none())

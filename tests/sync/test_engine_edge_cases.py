@@ -1,0 +1,178 @@
+"""Edge cases and failure injection for the round engines."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelViolationError
+from repro.sync.api import NO_SEND, RoundInbox, SendPlan, SyncProcess
+from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule, Subset
+from repro.sync.engine import ClassicSynchronousEngine
+from repro.sync.extended import ExtendedSynchronousEngine
+from repro.util.rng import RandomSource
+
+
+class Probe(SyncProcess):
+    """Configurable probe process."""
+
+    def __init__(self, pid, n, plan_fn=None, compute_fn=None):
+        super().__init__(pid, n)
+        self.proposal = pid
+        self.plan_fn = plan_fn or (lambda p, r: NO_SEND)
+        self.compute_fn = compute_fn or (lambda p, r, inbox: None)
+        self.seen: list[RoundInbox] = []
+
+    def send_phase(self, round_no):
+        return self.plan_fn(self, round_no)
+
+    def compute_phase(self, round_no, inbox):
+        self.seen.append(inbox)
+        self.compute_fn(self, round_no, inbox)
+
+
+def probes(n, plan_fn=None, compute_fn=None):
+    return [Probe(pid, n, plan_fn, compute_fn) for pid in range(1, n + 1)]
+
+
+class TestMinimalSystems:
+    def test_two_processes_one_channel_each_way(self):
+        procs = probes(
+            2,
+            plan_fn=lambda p, r: SendPlan(data={3 - p.pid: p.pid}),
+            compute_fn=lambda p, r, inbox: p.decide(inbox.data.get(3 - p.pid)),
+        )
+        result = ExtendedSynchronousEngine(procs, t=0).run()
+        assert result.decisions == {1: 2, 2: 1}
+
+    def test_whole_system_crashes_round_one(self):
+        procs = probes(3)
+        sched = CrashSchedule(
+            [CrashEvent(pid, 1, CrashPoint.BEFORE_SEND) for pid in (1, 2)]
+        )
+        result = ExtendedSynchronousEngine(procs, sched, t=2).run(max_rounds=3)
+        assert result.crashed_pids == [1, 2]
+        assert not result.completed  # p3 never decides
+
+
+class TestPlanMisbehaviour:
+    def test_send_after_decide_never_queried(self):
+        # A decided process's send_phase must not be called again.
+        calls = []
+
+        def plan(p, r):
+            calls.append((p.pid, r))
+            return NO_SEND
+
+        procs = probes(2, plan_fn=plan, compute_fn=lambda p, r, i: p.decide(0))
+        ExtendedSynchronousEngine(procs, t=0).run()
+        assert calls == [(1, 1), (2, 1)]
+
+    def test_duplicate_control_rejected_at_runtime(self):
+        procs = probes(3, plan_fn=lambda p, r: SendPlan(control=(2, 2)) if p.pid == 1 else NO_SEND)
+        with pytest.raises(ModelViolationError):
+            ExtendedSynchronousEngine(procs, t=0).run()
+
+    def test_self_send_rejected_at_runtime(self):
+        procs = probes(3, plan_fn=lambda p, r: SendPlan(data={p.pid: 1}))
+        with pytest.raises(ModelViolationError):
+            ExtendedSynchronousEngine(procs, t=0).run()
+
+
+class TestControlOrderObservability:
+    def test_prefix_respects_plan_order_not_id_order(self):
+        # Control order (2, 4, 3): prefix 2 must deliver to p2 and p4 only.
+        def plan(p, r):
+            if p.pid == 1 and r == 1:
+                return SendPlan(data={2: 0, 3: 0, 4: 0}, control=(2, 4, 3))
+            return NO_SEND
+
+        procs = probes(4, plan_fn=plan)
+        sched = CrashSchedule(
+            [CrashEvent(1, 1, CrashPoint.DURING_CONTROL, control_prefix=2)]
+        )
+        engine = ExtendedSynchronousEngine(procs, sched, t=1)
+        engine.run(max_rounds=1)
+        assert 1 in engine.procs[2].seen[0].control
+        assert 1 in engine.procs[4].seen[0].control
+        assert 1 not in engine.procs[3].seen[0].control
+
+    def test_full_control_without_crash(self):
+        def plan(p, r):
+            if p.pid == 1:
+                return SendPlan(data={2: 0, 3: 0}, control=(3, 2))
+            return NO_SEND
+
+        procs = probes(3, plan_fn=plan)
+        engine = ExtendedSynchronousEngine(procs, t=0)
+        engine.run(max_rounds=1)
+        assert engine.procs[2].seen[0].control == frozenset({1})
+        assert engine.procs[3].seen[0].control == frozenset({1})
+
+
+class TestStatsUnderCrashes:
+    def test_during_data_none_counts_zero_sent(self):
+        # Messages that never escape the crashing sender are not "sent".
+        def plan(p, r):
+            return SendPlan(data={j: 0 for j in range(1, 4) if j != p.pid})
+
+        procs = probes(3, plan_fn=plan)
+        sched = CrashSchedule(
+            [CrashEvent(1, 1, CrashPoint.DURING_DATA, data_policy=Subset.NONE)]
+        )
+        result = ExtendedSynchronousEngine(procs, sched, t=1).run(max_rounds=1)
+        # p2 and p3 each sent 2; p1 sent 0.
+        assert result.stats.data_sent == 4
+
+    def test_after_send_counts_full(self):
+        def plan(p, r):
+            return SendPlan(data={j: 0 for j in range(1, 4) if j != p.pid})
+
+        procs = probes(3, plan_fn=plan)
+        sched = CrashSchedule([CrashEvent(1, 1, CrashPoint.AFTER_SEND)])
+        result = ExtendedSynchronousEngine(procs, sched, t=1).run(max_rounds=1)
+        assert result.stats.data_sent == 6
+        # ...but deliveries *to* the crashed p1 are dropped.
+        assert result.stats.data_delivered == 4
+
+
+class TestDeterminismAcrossEngines:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2**32))
+    def test_deepcopy_then_run_equals_run(self, seed):
+        """Engine state must be fully captured by process objects: running
+        a deep copy of the initial processes yields identical results (the
+        property the lower-bound explorer depends on)."""
+        from repro.core.crw import CRWConsensus
+        from repro.sync.adversary import RandomCrashes
+
+        n = 5
+        rng1, rng2 = RandomSource(seed), RandomSource(seed)
+        sched1 = RandomCrashes(2).schedule(n, n - 1, rng1.spawn("adv"))
+        sched2 = RandomCrashes(2).schedule(n, n - 1, rng2.spawn("adv"))
+        procs1 = [CRWConsensus(pid, n, pid) for pid in range(1, n + 1)]
+        procs2 = copy.deepcopy(procs1)
+        r1 = ExtendedSynchronousEngine(procs1, sched1, t=n - 1, rng=rng1.spawn("e")).run()
+        r2 = ExtendedSynchronousEngine(procs2, sched2, t=n - 1, rng=rng2.spawn("e")).run()
+        assert r1.decisions == r2.decisions
+        assert r1.decision_rounds == r2.decision_rounds
+        assert r1.stats.bits_sent == r2.stats.bits_sent
+
+
+class TestClassicEngineParity:
+    def test_data_only_runs_identical_across_engines(self):
+        # A control-free workload must behave identically on both engines.
+        def plan(p, r):
+            return SendPlan(data={j: (p.pid, r) for j in range(1, 4) if j != p.pid})
+
+        def compute(p, r, inbox):
+            if r == 2:
+                p.decide(sorted(inbox.data))
+
+        a = ClassicSynchronousEngine(probes(3, plan, compute), t=0).run()
+        b = ExtendedSynchronousEngine(probes(3, plan, compute), t=0).run()
+        assert a.decisions == b.decisions
+        assert a.stats.data_sent == b.stats.data_sent

@@ -1,0 +1,108 @@
+"""Tests for the consensus spec checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecViolationError
+from repro.net.accounting import MessageStats
+from repro.sync.result import ProcessOutcome, RunResult
+from repro.sync.spec import assert_consensus, check_consensus
+from repro.util.trace import Trace
+
+
+def make_result(outcomes, completed=True, rounds=3, n=None):
+    n = n if n is not None else len(outcomes)
+    return RunResult(
+        n=n,
+        t=n - 1,
+        model="extended",
+        outcomes={o.pid: o for o in outcomes},
+        rounds_executed=rounds,
+        completed=completed,
+        stats=MessageStats(),
+        trace=Trace(enabled=False),
+    )
+
+
+def proc(pid, proposal, decided=None, decided_round=0, crashed_round=0):
+    return ProcessOutcome(
+        pid=pid,
+        proposal=proposal,
+        decided=decided is not None,
+        decision=decided,
+        decided_round=decided_round,
+        crashed=crashed_round > 0,
+        crashed_round=crashed_round,
+    )
+
+
+class TestCheckConsensus:
+    def test_clean_run_passes(self):
+        r = make_result([proc(1, "a", "a", 1), proc(2, "b", "a", 1)])
+        report = check_consensus(r)
+        assert report.ok
+
+    def test_termination_violation(self):
+        r = make_result([proc(1, "a", "a", 1), proc(2, "b")])
+        report = check_consensus(r)
+        assert any("termination" in v for v in report.violations)
+
+    def test_crashed_process_need_not_decide(self):
+        r = make_result([proc(1, "a", "a", 1), proc(2, "b", crashed_round=1)])
+        assert check_consensus(r).ok
+
+    def test_incomplete_run_is_termination_violation(self):
+        r = make_result([proc(1, "a", "a", 1), proc(2, "b")], completed=False)
+        assert any("termination" in v for v in check_consensus(r).violations)
+
+    def test_validity_violation(self):
+        r = make_result([proc(1, "a", "z", 1), proc(2, "b", "z", 1)])
+        assert any("validity" in v for v in check_consensus(r).violations)
+
+    def test_uniform_agreement_counts_faulty_deciders(self):
+        # p1 decides "a" then crashes later; p2 decides "b": uniform violated,
+        # plain agreement also checks only correct -> violated too? p1 crashed,
+        # so plain agreement ignores it.
+        r = make_result(
+            [proc(1, "a", "a", 1, crashed_round=2), proc(2, "b", "b", 2), proc(3, "c", "b", 2)]
+        )
+        uniform = check_consensus(r, uniform=True)
+        plain = check_consensus(r, uniform=False)
+        assert any("uniform agreement" in v for v in uniform.violations)
+        assert plain.ok
+
+    def test_round_bound(self):
+        r = make_result([proc(1, "a", "a", 3), proc(2, "b", "a", 3)])
+        assert check_consensus(r, round_bound=2).violations
+        assert check_consensus(r, round_bound=3).ok
+
+    def test_early_stopping_bound_uses_actual_f(self):
+        # f = 1 crash, decisions at round 3 > f+1 = 2.
+        r = make_result(
+            [proc(1, "a", crashed_round=1), proc(2, "b", "b", 3), proc(3, "c", "b", 3)]
+        )
+        report = check_consensus(r, require_early_stopping=True)
+        assert any("early stopping" in v for v in report.violations)
+        assert report.early_stopping_bound == 2
+        assert report.last_decision_round == 3
+
+    def test_early_stopping_ok_at_f_plus_one(self):
+        r = make_result(
+            [proc(1, "a", crashed_round=1), proc(2, "b", "b", 2), proc(3, "c", "b", 2)]
+        )
+        assert check_consensus(r, require_early_stopping=True).ok
+
+
+class TestAssertConsensus:
+    def test_raises_with_summary(self):
+        r = make_result([proc(1, "a", "a", 1), proc(2, "b", "b", 1)])
+        with pytest.raises(SpecViolationError) as exc:
+            assert_consensus(r)
+        assert "uniform agreement" in str(exc.value)
+        assert "extended run" in str(exc.value)
+
+    def test_passes_through_report(self):
+        r = make_result([proc(1, "a", "a", 1), proc(2, "b", "a", 1)])
+        report = assert_consensus(r)
+        assert report.ok

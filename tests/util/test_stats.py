@@ -1,0 +1,69 @@
+"""Tests for summary statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util.stats import Summary, percentile, summarize
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], -1)
+
+    def test_single_value(self):
+        assert percentile([3.5], 0) == 3.5
+        assert percentile([3.5], 100) == 3.5
+
+    def test_median_even(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_endpoints(self):
+        data = [1.0, 5.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+
+class TestSummarize:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_constant_sample(self):
+        s = summarize([4, 4, 4, 4])
+        assert s.mean == 4.0
+        assert s.std == 0.0
+        assert s.min == s.max == s.p50 == 4.0
+
+    def test_known_values(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == 3.0
+        assert s.p50 == 3.0
+        assert math.isclose(s.std, math.sqrt(2.0))
+
+    def test_str_renders(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_invariants(self, xs):
+        s = summarize(xs)
+        assert s.min <= s.p50 <= s.p95 <= s.max
+        assert s.min <= s.mean <= s.max
+        assert s.count == len(xs)
+        assert s.std >= 0

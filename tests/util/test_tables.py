@@ -1,0 +1,86 @@
+"""Tests for ASCII/Markdown table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.tables import Table, render_ascii, render_markdown
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ConfigurationError):
+            Table([])
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ConfigurationError):
+            Table(["a", "a"])
+
+    def test_positional_row(self):
+        t = Table(["n", "rounds"])
+        t.add_row(4, 1)
+        assert len(t) == 1
+
+    def test_named_row(self):
+        t = Table(["n", "rounds"])
+        t.add_row(rounds=2, n=8)
+        assert t.rows[0] == ("8", "2")
+
+    def test_mixed_row_rejected(self):
+        t = Table(["n", "rounds"])
+        with pytest.raises(ConfigurationError):
+            t.add_row(4, rounds=1)
+
+    def test_named_row_key_mismatch_rejected(self):
+        t = Table(["n", "rounds"])
+        with pytest.raises(ConfigurationError):
+            t.add_row(n=4, extra=1)
+
+    def test_wrong_arity_rejected(self):
+        t = Table(["n", "rounds"])
+        with pytest.raises(ConfigurationError):
+            t.add_row(4)
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row(1.23456789)
+        assert t.rows[0][0] == "1.235"
+
+    def test_ascii_contains_all_cells(self):
+        t = Table(["alg", "rounds"], title="E1")
+        t.add_row("crw", 3)
+        t.add_row("floodset", 8)
+        out = t.to_ascii()
+        for token in ("E1", "alg", "rounds", "crw", "floodset", "3", "8"):
+            assert token in out
+
+    def test_ascii_alignment(self):
+        t = Table(["a", "b"])
+        t.add_row("xx", "y")
+        lines = t.to_ascii().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equally wide
+
+    def test_markdown_shape(self):
+        t = Table(["a", "b"])
+        t.add_row(1, 2)
+        lines = t.to_markdown().splitlines()
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+        assert lines[2].startswith("| 1")
+
+    def test_markdown_title(self):
+        t = Table(["a"], title="T")
+        t.add_row(1)
+        assert t.to_markdown().splitlines()[0] == "**T**"
+
+
+class TestOneShotHelpers:
+    def test_render_ascii(self):
+        out = render_ascii(["x"], [[1], [2]])
+        assert "1" in out and "2" in out
+
+    def test_render_markdown(self):
+        out = render_markdown(["x"], [[1]], title="t")
+        assert out.startswith("**t**")

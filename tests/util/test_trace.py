@@ -1,0 +1,46 @@
+"""Tests for the structured event trace."""
+
+from __future__ import annotations
+
+from repro.util.trace import Trace, TraceEvent
+
+
+class TestTrace:
+    def test_record_and_query(self):
+        tr = Trace()
+        tr.record(1, "crash", 3, point="during_data")
+        tr.record(2, "decide", 4, value=7)
+        assert len(tr) == 2
+        assert tr.count("crash") == 1
+        assert tr.events(kind="decide")[0].get("value") == 7
+
+    def test_filters_combine(self):
+        tr = Trace()
+        tr.record(1, "deliver.data", 1, dest=2)
+        tr.record(1, "deliver.data", 1, dest=3)
+        tr.record(2, "deliver.data", 2, dest=3)
+        assert len(tr.events(kind="deliver.data", pid=1)) == 2
+        assert len(tr.events(kind="deliver.data", round_no=2)) == 1
+        assert len(tr.events(kind="deliver.data", pid=1, round_no=2)) == 0
+
+    def test_disabled_trace_records_nothing(self):
+        tr = Trace(enabled=False)
+        tr.record(1, "crash", 1)
+        assert len(tr) == 0
+
+    def test_get_default(self):
+        ev = TraceEvent(1, "x", 1, (("a", 1),))
+        assert ev.get("a") == 1
+        assert ev.get("missing", "d") == "d"
+
+    def test_iteration_order(self):
+        tr = Trace()
+        for r in range(1, 4):
+            tr.record(r, "tick", 0)
+        assert [e.round_no for e in tr] == [1, 2, 3]
+
+    def test_format_readable(self):
+        tr = Trace()
+        tr.record(1, "crash", 2, point="before_send")
+        out = tr.format()
+        assert "crash" in out and "p2" in out and "before_send" in out
