@@ -1,37 +1,37 @@
 #!/usr/bin/env python3
 """Quickstart: uniform consensus in f+1 rounds with synchronization messages.
 
-Runs the paper's Figure-1 algorithm on the extended synchronous model:
-first failure-free (one round!), then under the worst-case coordinator
-cascade (exactly f+1 rounds), printing what every process decided and the
-message/bit traffic.
+Runs the paper's Figure-1 algorithm through the unified scenario API —
+one declarative description per run, executed on the extended
+synchronous engine: first failure-free (one round!), then under the
+worst-case coordinator cascade (exactly f+1 rounds), printing what every
+process decided and the message/bit traffic.  The same `Scenario` shape
+drives every other algorithm in the repo (`floodset`, `mr99`, `ffd`, …).
 
     python examples/quickstart.py
 """
 
-from repro import (
-    CoordinatorKiller,
-    CRWConsensus,
-    ExtendedSynchronousEngine,
-    assert_consensus,
-)
-from repro.util import RandomSource
+from repro import Scenario, execute
 
 
 def run(n: int, f: int) -> None:
-    rng = RandomSource(42)
-    processes = [CRWConsensus(pid, n, proposal=f"value-of-p{pid}") for pid in range(1, n + 1)]
-    schedule = CoordinatorKiller(f).schedule(n, t=n - 1, rng=rng)
-    engine = ExtendedSynchronousEngine(processes, schedule, t=n - 1, rng=rng)
-    result = engine.run()
+    scenario = Scenario(
+        algorithm="crw",
+        n=n,
+        f=f,
+        adversary="coordinator-killer",
+        seed=42,
+    )
+    record = execute(scenario)
 
-    assert_consensus(result, require_early_stopping=True)
+    assert record.spec_ok, record.violations
+    assert record.last_decision_round <= record.f_actual + 1  # early stopping
     print(f"n={n} f={f}:")
-    print(f"  rounds executed      : {result.rounds_executed} (bound: f+1 = {f + 1})")
-    print(f"  decision             : {next(iter(result.decisions.values()))!r}")
-    print(f"  deciders             : {sorted(result.decisions)}")
-    print(f"  crashed coordinators : {result.crashed_pids}")
-    print(f"  traffic              : {result.stats}")
+    print(f"  rounds to last decision: {record.last_decision_round} (bound: f+1 = {f + 1})")
+    print(f"  decision               : {next(iter(record.decisions.values()))!r}")
+    print(f"  deciders               : {sorted(record.decisions)}")
+    print(f"  crashed coordinators   : {record.crashed}")
+    print(f"  traffic                : {record.messages_sent} msgs, {record.bits_sent} bits")
     print()
 
 

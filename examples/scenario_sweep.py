@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario sweeps: one grid, four execution stacks, a process pool.
+
+Demonstrates the scenario layer end to end:
+
+1. a cross-backend tour — the *same* declarative shape runs the paper's
+   algorithm (extended model), a classic baseline, an asynchronous ◇S
+   algorithm, and fast-failure-detector consensus;
+2. a seed-dense grid swept under the multiprocessing executor with JSONL
+   persistence, then resumed (zero cells re-executed).
+
+    python examples/scenario_sweep.py
+"""
+
+import os
+import tempfile
+
+from repro import Scenario, SweepRunner, execute, expand_grid
+from repro.scenarios import summarize_records
+
+
+def tour() -> None:
+    print("== one Scenario shape, four backends ==\n")
+    cells = [
+        Scenario(algorithm="crw", n=8, f=2, adversary="coordinator-killer"),
+        Scenario(algorithm="early-stopping", n=8, f=2, adversary="staggered"),
+        Scenario(algorithm="mr99", n=7, f=2, adversary="coordinator-killer",
+                 timing={"delay": "lognormal", "mu": 0.0, "sigma": 0.75}),
+        Scenario(algorithm="ffd", n=6, f=2, adversary="coordinator-killer",
+                 timing={"D": 100.0, "d": 1.0}),
+    ]
+    for scenario in cells:
+        record = execute(scenario)
+        assert record.spec_ok, record.violations
+        where = (
+            f"round {record.last_decision_round}"
+            if record.backend in ("extended", "classic")
+            else f"t={record.sim_time:.1f}"
+        )
+        print(f"  {scenario.algorithm:16s} [{record.backend:8s}] "
+              f"decided by {where:12s} msgs={record.messages_sent}")
+    print()
+
+
+def sweep() -> None:
+    cells = expand_grid(
+        ["crw", "early-stopping", "floodset"],
+        n_values=[4, 6],
+        f_values=[0, 1, 2],
+        adversaries=("staggered",),
+        seeds=7,
+    )
+    print(f"== {len(cells)}-cell grid, process pool, JSONL resume ==\n")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "sweep.jsonl")
+        runner = SweepRunner(cells, executor="process", chunk_size=8, jsonl_path=path)
+        records = runner.run()
+        print(f"  first pass : {runner.executed} executed, {runner.resumed} resumed")
+        resumed = SweepRunner(cells, executor="process", chunk_size=8, jsonl_path=path)
+        resumed.run()
+        print(f"  second pass: {resumed.executed} executed, {resumed.resumed} resumed\n")
+
+    for row in summarize_records(records):
+        if row.f == 2:
+            print(f"  {row.algorithm:16s} n={row.n} f={row.f}: "
+                  f"max last round {row.max_last_round}, spec "
+                  f"{'ok' if row.spec_ok else 'VIOLATED'}")
+    print("\nCRW stays at 1 round under benign (staggered) crashes;")
+    print("the classic baselines pay their t+1 / f+2 schedules.")
+
+
+def main() -> None:
+    tour()
+    sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -6,20 +6,22 @@ pipelines an ordered 1-bit synchronization ("commit") step behind the data
 step, a rotating-coordinator uniform consensus algorithm deciding in at
 most ``f + 1`` rounds, and the matching ``f + 1`` lower bound.
 
-Quickstart::
+Quickstart (the unified scenario API — one declarative entry point over
+the extended/classic synchronous engines, the asynchronous ◇S simulator,
+and the timed fast-failure-detector backend)::
 
-    from repro import CRWConsensus, ExtendedSynchronousEngine, CoordinatorKiller
-    from repro.util import RandomSource
+    from repro import Scenario, execute
 
-    n, t, f = 8, 3, 2
-    rng = RandomSource(7)
-    procs = [CRWConsensus(pid, n, proposal=100 + pid) for pid in range(1, n + 1)]
-    schedule = CoordinatorKiller(f).schedule(n, t, rng)
-    result = ExtendedSynchronousEngine(procs, schedule, t=t, rng=rng).run()
-    assert result.last_decision_round == f + 1
+    record = execute(Scenario(algorithm="crw", n=8, f=2, adversary="coordinator-killer"))
+    assert record.spec_ok and record.last_decision_round == record.f_actual + 1
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-paper-vs-measured record.
+Every registered algorithm (``repro.scenarios.ALGORITHMS``) runs through
+the same three lines; swap ``algorithm="mr99"`` or ``"ffd"`` to change
+execution stack without changing code.  Engines remain directly usable
+for fine-grained control (see :mod:`repro.sync.engine`).
+
+See ``DESIGN.md`` for the system inventory, the experiment index, and
+the scenario-layer extension guide.
 """
 
 from repro._version import __version__
@@ -42,6 +44,16 @@ from repro.lowerbound import (
     refute_round_bound,
 )
 from repro.rsm import Command, KVStore, ReplicatedLog
+from repro.scenarios import (
+    RunRecord,
+    Scenario,
+    SweepRunner,
+    execute,
+    expand_grid,
+    register_adversary,
+    register_algorithm,
+    register_workload,
+)
 from repro.simulation import run_classic_on_extended, run_extended_on_classic
 from repro.snapshot import TransferSystem
 from repro.timing import RoundCost, crossover_d, timing_series
@@ -96,6 +108,14 @@ __all__ = [
     "RunConfig",
     "run_once",
     "run_sweep",
+    "Scenario",
+    "RunRecord",
+    "execute",
+    "SweepRunner",
+    "expand_grid",
+    "register_algorithm",
+    "register_adversary",
+    "register_workload",
     "ExplorationConfig",
     "Explorer",
     "certify_f_plus_one",

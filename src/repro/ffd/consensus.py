@@ -35,6 +35,7 @@ from typing import Any
 
 from repro.errors import ConfigurationError
 from repro.ffd.timed import TimedCrash, TimedEnvironment, TimedSpec
+from repro.net.accounting import MessageStats
 from repro.net.message import Message
 from repro.util.rng import RandomSource
 
@@ -52,6 +53,7 @@ class FFDRunResult:
     crashed: dict[int, float]
     fired_slots: list[int]
     sim_time: float
+    stats: MessageStats | None = None
 
     @property
     def f(self) -> int:
@@ -257,4 +259,5 @@ def run_ffd_consensus(
         crashed=dict(env.crashed),
         fired_slots=any_view,
         sim_time=end,
+        stats=env.stats,
     )

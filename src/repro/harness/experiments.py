@@ -2,10 +2,14 @@
 
 Each ``eN_*`` function returns an :class:`ExperimentResult` holding the
 table(s) the claim predicts plus machine-checkable findings.  The
-``benchmarks/bench_eN_*.py`` files time and print them; ``EXPERIMENTS.md``
-records paper-vs-measured from the same source.
+``benchmarks/bench_eN_*.py`` files time and print them, and
+``repro-consensus experiment eN --markdown`` renders any of them as a
+Markdown section.
 
-See DESIGN.md §4 for the experiment index.
+Runs are driven through the unified scenario API
+(:mod:`repro.scenarios`), either directly (E5, E6) or via the legacy
+:mod:`repro.harness.runner` shims (E1, E2, E7, E8).  See ``DESIGN.md``
+§4 for the experiment index.
 """
 
 from __future__ import annotations
@@ -14,15 +18,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.asyncsim.failure_detector import DetectorSpec
-from repro.asyncsim.mr99 import MR99Consensus
-from repro.asyncsim.network import GstDelay, LogNormalDelay, UniformDelay
-from repro.asyncsim.runner import AsyncCrash, AsyncRunner
 from repro.core.crw import CRWConsensus
 from repro.core.variants import IncreasingCommitCRW, TruncatedCRW
-from repro.ffd.consensus import run_ffd_consensus
-from repro.ffd.timed import TimedCrash, TimedSpec
 from repro.harness.runner import RunConfig, run_once, run_sweep
+from repro.scenarios.execute import execute
+from repro.scenarios.scenario import Scenario
 from repro.lowerbound.certificates import (
     certify_f_plus_one,
     certify_no_run_exceeds,
@@ -397,42 +397,34 @@ def e5_mr99(
 ) -> ExperimentResult:
     """MR99 under the async simulator: rounds used vs crash count, with the
     same two-step round structure the paper maps COMMIT onto."""
-    from repro.asyncsim.chandra_toueg import ChandraTouegConsensus
-
     table = Table(
         ["algorithm", "n", "t", "f", "delay", "mean rounds", "max rounds", "mean msgs", "spec"],
         title="E5: asynchronous diamond-S algorithms across crash counts and delay models",
     )
     all_ok = True
     delays = {
-        "uniform": UniformDelay(0.5, 1.5),
-        "lognormal": LogNormalDelay(mu=0.0, sigma=0.75),
+        "uniform": {"delay": "uniform", "lo": 0.5, "hi": 1.5},
+        "lognormal": {"delay": "lognormal", "mu": 0.0, "sigma": 0.75},
     }
-    algorithms = {
-        "mr99": lambda pid, n, t: MR99Consensus(pid, n, 100 + pid, t),
-        "chandra-toueg": lambda pid, n, t: ChandraTouegConsensus(pid, n, 100 + pid, t),
-    }
-    for algo_name, make_proc in algorithms.items():
+    for algo_name in ("mr99", "chandra-toueg"):
         for n in n_values:
             t = (n - 1) // 2
             for f in range(0, t + 1):
-                for delay_name, delay_model in delays.items():
+                for delay_name, delay_timing in delays.items():
                     rounds, msgs = [], []
                     for seed in range(seeds):
-                        procs = [make_proc(pid, n, t) for pid in range(1, n + 1)]
-                        crashes = [AsyncCrash(pid, 0.0) for pid in range(1, f + 1)]
-                        runner = AsyncRunner(
-                            procs,
+                        record = execute(Scenario(
+                            algorithm=algo_name,
+                            n=n,
                             t=t,
-                            crashes=crashes,
-                            delay_model=delay_model,
-                            detector_spec=DetectorSpec(detection_latency=1.0),
-                            rng=RandomSource(seed),
-                        )
-                        result = runner.run()
-                        all_ok = all_ok and result.check_consensus() == []
-                        rounds.append(max(result.decision_rounds.values(), default=0))
-                        msgs.append(result.stats.async_sent)
+                            f=f,
+                            adversary="coordinator-killer",  # first f coordinators die at t=0
+                            timing={**delay_timing, "detection_latency": 1.0},
+                            seed=seed,
+                        ))
+                        all_ok = all_ok and record.spec_ok
+                        rounds.append(record.last_decision_round)
+                        msgs.append(record.messages_sent)
                     table.add_row(
                         algo_name,
                         n,
@@ -474,7 +466,6 @@ def e6_ffd(
     n: int = 6,
 ) -> ExperimentResult:
     """Measured FFD decision time ~ D + f*d_fd, vs CRW's (f+1)(D+d)."""
-    spec = TimedSpec(n=n, D=D, d=d_fd)
     cost = RoundCost(D=D, d=d_ext)
     table = Table(
         ["f", "ffd measured", "ffd model D+(f+1)d", "crw model (f+1)(D+d)", "ffd wins"],
@@ -483,12 +474,16 @@ def e6_ffd(
     ok = True
     within = True
     for f in f_values:
-        crashes = [TimedCrash(pid, 0.0) for pid in range(1, f + 1)]
-        result = run_ffd_consensus(
-            spec, [100 + pid for pid in range(1, n + 1)], crashes, rng=RandomSource(f)
-        )
-        ok = ok and result.check_consensus() == []
-        measured = result.max_decision_time
+        record = execute(Scenario(
+            algorithm="ffd",
+            n=n,
+            f=f,
+            adversary="coordinator-killer",  # first f grid slots die at t=0
+            timing={"D": D, "d": d_fd},
+            seed=f,
+        ))
+        ok = ok and record.spec_ok
+        measured = record.raw.max_decision_time
         model = cost.ffd_time(f, d_fd)
         crw = cost.crw_time(f)
         within = within and measured <= model + 1e-9

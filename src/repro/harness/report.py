@@ -1,4 +1,9 @@
-"""Markdown report generation (regenerates the body of EXPERIMENTS.md)."""
+"""Markdown report generation for the E1–E8 experiments.
+
+``render_all_markdown()`` produces the full paper-vs-measured record;
+``repro-consensus experiment eN --markdown`` prints one section.  The
+experiment index lives in ``DESIGN.md`` §4.
+"""
 
 from __future__ import annotations
 

@@ -1,23 +1,32 @@
-"""Single-run and sweep execution for synchronous consensus experiments."""
+"""Legacy single-run and sweep entry points (thin shims over ``repro.scenarios``).
+
+.. deprecated::
+    This module predates the unified scenario API.  :class:`RunConfig`,
+    :func:`run_once`, :func:`run_sweep`, and :func:`run_grid` are kept so
+    existing call sites stay green, but they now translate to
+    :class:`~repro.scenarios.Scenario` and delegate to
+    :func:`~repro.scenarios.execute` — new code should use those directly
+    (they cover every shipped algorithm, not just the three listed in
+    :data:`ALGORITHMS`, and return the normalized
+    :class:`~repro.scenarios.RunRecord`).
+
+The results are byte-identical to the pre-scenario implementation: the
+labelled RNG streams (``adversary`` / ``engine``) that the legacy runner
+spawned are exactly the ones :func:`~repro.scenarios.execute` spawns.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.baselines.early_stopping import EarlyStoppingConsensus
-from repro.baselines.floodset import FloodSetConsensus
-from repro.core.crw import CRWConsensus
 from repro.errors import ConfigurationError
+from repro.scenarios.execute import execute
+from repro.scenarios.registry import ALGORITHMS as SCENARIO_ALGORITHMS
+from repro.scenarios.scenario import Scenario
 from repro.sync.api import SyncProcess
-from repro.sync.engine import ClassicSynchronousEngine
-from repro.sync.extended import ExtendedSynchronousEngine
 from repro.sync.result import RunResult
-from repro.sync.spec import check_consensus
-from repro.util.rng import RandomSource
 from repro.util.stats import summarize
-from repro.workloads.crashes import make_adversary
-from repro.workloads.proposals import distinct_ints, sized_proposals
 
 __all__ = [
     "AlgorithmSpec",
@@ -32,7 +41,7 @@ __all__ = [
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """How to instantiate and host one consensus algorithm."""
+    """Legacy view of one registered synchronous algorithm."""
 
     name: str
     model: str  # "extended" | "classic"
@@ -42,74 +51,78 @@ class AlgorithmSpec:
     round_bound: Callable[[int, int], int]
 
 
+def _legacy_view(name: str) -> AlgorithmSpec:
+    algo = SCENARIO_ALGORITHMS.get(name)
+    return AlgorithmSpec(
+        name=algo.name,
+        model=algo.backend,
+        factory=lambda n, t, props, _f=algo.factory: _f(n, t, props, {}),
+        round_bound=algo.round_bound or (lambda f, t: 0),
+    )
+
+
+#: The pre-scenario registry surface: the three original algorithms, now
+#: derived from :data:`repro.scenarios.ALGORITHMS` (the naming authority).
 ALGORITHMS: dict[str, AlgorithmSpec] = {
-    "crw": AlgorithmSpec(
-        name="crw",
-        model="extended",
-        factory=lambda n, t, props: [
-            CRWConsensus(pid, n, props[pid - 1]) for pid in range(1, n + 1)
-        ],
-        round_bound=lambda f, t: f + 1,
-    ),
-    "floodset": AlgorithmSpec(
-        name="floodset",
-        model="classic",
-        factory=lambda n, t, props: [
-            FloodSetConsensus(pid, n, props[pid - 1], t) for pid in range(1, n + 1)
-        ],
-        round_bound=lambda f, t: t + 1,
-    ),
-    "early-stopping": AlgorithmSpec(
-        name="early-stopping",
-        model="classic",
-        factory=lambda n, t, props: [
-            EarlyStoppingConsensus(pid, n, props[pid - 1], t) for pid in range(1, n + 1)
-        ],
-        round_bound=lambda f, t: min(f + 2, t + 1),
-    ),
+    name: _legacy_view(name) for name in ("crw", "floodset", "early-stopping")
 }
 
 
 @dataclass(frozen=True)
 class RunConfig:
-    """One fully specified run."""
+    """One fully specified run (legacy shape; superseded by ``Scenario``)."""
 
     algorithm: str
     n: int
-    t: int
+    t: int | None  # None -> the algorithm's default rule (see Scenario.t)
     f: int
     adversary: str
     seed: int
     value_bits: int | None = None  # None -> plain distinct ints
 
     def __post_init__(self) -> None:
-        if self.algorithm not in ALGORITHMS:
+        if self.algorithm not in SCENARIO_ALGORITHMS:
             raise ConfigurationError(
-                f"unknown algorithm {self.algorithm!r}; available: {sorted(ALGORITHMS)}"
+                f"unknown algorithm {self.algorithm!r}; "
+                f"available: {SCENARIO_ALGORITHMS.names()}"
             )
+
+    def to_scenario(self) -> Scenario:
+        """The equivalent declarative :class:`~repro.scenarios.Scenario`."""
+        if self.value_bits is not None:
+            workload, params = "sized", {"bits": self.value_bits}
+        else:
+            workload, params = "distinct-ints", {}
+        return Scenario(
+            algorithm=self.algorithm,
+            n=self.n,
+            t=self.t,
+            f=self.f,
+            adversary=self.adversary,
+            workload=workload,
+            workload_params=params,
+            seed=self.seed,
+        )
 
 
 def run_once(config: RunConfig, *, trace: bool = False) -> RunResult:
-    """Execute one run."""
-    spec = ALGORITHMS[config.algorithm]
-    rng = RandomSource(config.seed)
-    proposals = (
-        sized_proposals(config.n, config.value_bits)
-        if config.value_bits is not None
-        else distinct_ints(config.n)
-    )
-    adversary_name = config.adversary
-    if spec.model == "classic" and adversary_name == "random":
-        adversary_name = "random-classic"  # classic model: no control step
-    schedule = make_adversary(adversary_name, config.f).schedule(
-        config.n, config.t, rng.spawn("adversary")
-    )
-    procs = spec.factory(config.n, config.t, proposals)
-    engine_cls = (
-        ExtendedSynchronousEngine if spec.model == "extended" else ClassicSynchronousEngine
-    )
-    engine = engine_cls(procs, schedule, t=config.t, rng=rng.spawn("engine"), trace=trace)
-    return engine.run()
+    """Execute one synchronous run (legacy contract: returns ``RunResult``).
+
+    Configs naming an asynchronous or timed algorithm are rejected up
+    front — this shim's declared return type is the synchronous
+    :class:`~repro.sync.result.RunResult`, and handing callers a foreign
+    result shape would fail far from the misconfiguration.  For those
+    backends (and for new code generally) call
+    :func:`repro.scenarios.execute`, which returns the backend-neutral
+    :class:`~repro.scenarios.RunRecord`.
+    """
+    backend = SCENARIO_ALGORITHMS.get(config.algorithm).backend
+    if backend not in ("extended", "classic"):
+        raise ConfigurationError(
+            f"run_once only drives synchronous algorithms; {config.algorithm!r} "
+            f"runs on the {backend!r} backend — use repro.scenarios.execute"
+        )
+    return execute(config.to_scenario(), trace=trace).raw
 
 
 @dataclass(slots=True)
@@ -141,20 +154,18 @@ def run_sweep(
     value_bits: int | None = None,
 ) -> SweepRow:
     """Run one cell over ``seeds`` seeds and aggregate."""
-    spec = ALGORITHMS[algorithm]
+    algo = SCENARIO_ALGORITHMS.get(algorithm)
     last_rounds: list[float] = []
     messages: list[float] = []
     bits: list[float] = []
     all_ok = True
     for seed in range(seeds):
-        result = run_once(
-            RunConfig(algorithm, n, t, f, adversary, seed, value_bits), trace=False
-        )
-        report = check_consensus(result)
-        all_ok = all_ok and report.ok
-        last_rounds.append(float(result.last_decision_round))
-        messages.append(float(result.stats.messages_sent))
-        bits.append(float(result.stats.bits_sent))
+        config = RunConfig(algorithm, n, t, f, adversary, seed, value_bits)
+        record = execute(config.to_scenario())
+        all_ok = all_ok and record.spec_ok
+        last_rounds.append(float(record.last_decision_round))
+        messages.append(float(record.messages_sent))
+        bits.append(float(record.bits_sent))
     return SweepRow(
         algorithm=algorithm,
         n=n,
@@ -164,7 +175,7 @@ def run_sweep(
         seeds=seeds,
         mean_last_round=summarize(last_rounds).mean,
         max_last_round=int(max(last_rounds)),
-        bound=spec.round_bound(f, t),
+        bound=algo.round_bound(f, t) if algo.round_bound is not None else 0,
         mean_messages=summarize(messages).mean,
         mean_bits=summarize(bits).mean,
         spec_ok=all_ok,

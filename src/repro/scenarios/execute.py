@@ -1,0 +1,304 @@
+"""``execute(scenario) -> RunRecord``: one front door over four backends.
+
+The facade resolves the scenario's names against the registries, builds
+the proposal workload and crash plan from labelled child RNG streams
+(``workload`` / ``adversary`` / ``engine``), dispatches on the
+algorithm's backend, and reduces whatever the backend returns to the
+normalized :class:`~repro.scenarios.record.RunRecord`.
+
+Determinism contract: the labelled RNG tree makes a record a pure
+function of its scenario, and — because child streams depend only on
+``(seed, label)``, never on draw order — the synchronous path here is
+**byte-identical** to the legacy ``repro.harness.runner.run_once`` for
+every ``(algorithm, adversary, seed)`` it could express.  The parity test
+in ``tests/scenarios/test_execute.py`` pins that equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.scenarios.record import RunRecord
+from repro.scenarios.registry import ADVERSARIES, ALGORITHMS, WORKLOADS, AlgorithmDef
+from repro.scenarios.scenario import Scenario
+from repro.util.rng import RandomSource
+
+__all__ = ["execute", "resolved_t", "delay_model_from"]
+
+
+def resolved_t(scenario: Scenario, algo: AlgorithmDef | None = None) -> int:
+    """The resilience bound actually used: explicit ``t`` or the default rule."""
+    if scenario.t is not None:
+        return scenario.t
+    algo = algo or ALGORITHMS.get(scenario.algorithm)
+    return algo.default_t(scenario.n)
+
+
+#: Per-delay-model parameter keys accepted in ``Scenario.timing``.
+_DELAY_KEYS = {
+    "constant": {"value"},
+    "uniform": {"lo", "hi"},
+    "lognormal": {"mu", "sigma"},
+    "gst": {"gst", "wild", "bound"},
+}
+#: Non-delay timing keys accepted per continuous-time backend.
+_TIMING_KEYS = {
+    "async": {
+        "delay", "stabilization_time", "detection_latency", "churn_rate",
+        "false_suspicion_duration", "until", "max_events",
+    },
+    "ffd": {"D", "d", "delta_min"},
+}
+
+
+def _check_timing_keys(timing: dict[str, Any], backend: str) -> None:
+    """Reject typoed/unsupported timing keys instead of silently defaulting."""
+    allowed = set(_TIMING_KEYS[backend])
+    if backend == "async":
+        allowed |= _DELAY_KEYS.get(timing.get("delay"), set())
+    unknown = set(timing) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown timing key(s) {sorted(unknown)} for the {backend!r} "
+            f"backend; accepted: {sorted(allowed)}"
+        )
+
+
+def delay_model_from(timing: dict[str, Any]):
+    """Build the async delay model described by ``timing`` (None = default)."""
+    from repro.asyncsim.network import (
+        ConstantDelay,
+        GstDelay,
+        LogNormalDelay,
+        UniformDelay,
+    )
+
+    name = timing.get("delay")
+    if name is None:
+        return None
+    if name == "constant":
+        return ConstantDelay(value=float(timing.get("value", 1.0)))
+    if name == "uniform":
+        return UniformDelay(
+            lo=float(timing.get("lo", 0.5)), hi=float(timing.get("hi", 1.5))
+        )
+    if name == "lognormal":
+        return LogNormalDelay(
+            mu=float(timing.get("mu", 0.0)), sigma=float(timing.get("sigma", 0.5))
+        )
+    if name == "gst":
+        return GstDelay(
+            gst=float(timing.get("gst", 10.0)),
+            wild=float(timing.get("wild", 5.0)),
+            bound=float(timing.get("bound", 1.0)),
+        )
+    raise ConfigurationError(
+        f"unknown delay model {name!r}; available: constant, uniform, lognormal, gst"
+    )
+
+
+def _timed_crashes(scenario: Scenario, n: int, t: int, rng: RandomSource):
+    adv = ADVERSARIES.get(scenario.adversary)
+    if adv.make_timed is None:
+        raise ConfigurationError(
+            f"adversary {scenario.adversary!r} has no timed crash plan; "
+            f"usable on continuous-time backends: "
+            f"{[name for name, a in ADVERSARIES.items() if a.make_timed is not None]}"
+        )
+    return adv.make_timed(n, t, scenario.f, rng)
+
+
+def execute(scenario: Scenario, *, trace: bool = False) -> RunRecord:
+    """Run one scenario on its backend and return the normalized record."""
+    algo = ALGORITHMS.get(scenario.algorithm)
+    if scenario.model is not None and scenario.model != algo.backend:
+        raise ConfigurationError(
+            f"scenario pins model {scenario.model!r} but algorithm "
+            f"{scenario.algorithm!r} runs on the {algo.backend!r} backend"
+        )
+    n, t = scenario.n, resolved_t(scenario, algo)
+    if not 0 <= t < n:
+        raise ConfigurationError(f"t must satisfy 0 <= t < n, got t={t}, n={n}")
+    if scenario.f > t:
+        raise ConfigurationError(f"f={scenario.f} exceeds t={t}")
+
+    rng = RandomSource(scenario.seed)
+    workload = WORKLOADS.get(scenario.workload)
+    proposals = workload.build(n, rng.spawn("workload"), dict(scenario.workload_params))
+    if len(proposals) != n:
+        raise ConfigurationError(
+            f"workload {scenario.workload!r} produced {len(proposals)} proposals for n={n}"
+        )
+
+    if algo.backend in ("extended", "classic"):
+        return _execute_sync(scenario, algo, n, t, proposals, rng, trace)
+    if algo.backend == "async":
+        return _execute_async(scenario, algo, n, t, proposals, rng)
+    if algo.backend == "ffd":
+        return _execute_ffd(scenario, algo, n, t, proposals, rng)
+    raise ConfigurationError(f"unhandled backend {algo.backend!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Round-based backends.
+# ---------------------------------------------------------------------------
+
+
+def _execute_sync(
+    scenario: Scenario,
+    algo: AlgorithmDef,
+    n: int,
+    t: int,
+    proposals: list[Any],
+    rng: RandomSource,
+    trace: bool,
+) -> RunRecord:
+    from repro.sync.engine import ClassicSynchronousEngine
+    from repro.sync.extended import ExtendedSynchronousEngine
+    from repro.sync.spec import check_consensus
+
+    adversary_name = scenario.adversary
+    if algo.backend == "classic" and adversary_name == "random":
+        adversary_name = "random-classic"  # classic model: no control step
+    adv = ADVERSARIES.get(adversary_name)
+    if adv.make_sync is None:
+        raise ConfigurationError(
+            f"adversary {adversary_name!r} has no synchronous crash plan"
+        )
+    schedule = adv.make_sync(scenario.f).schedule(n, t, rng.spawn("adversary"))
+    procs = algo.factory(n, t, proposals, dict(scenario.params))
+    engine_cls = (
+        ExtendedSynchronousEngine if algo.backend == "extended" else ClassicSynchronousEngine
+    )
+    engine = engine_cls(procs, schedule, t=t, rng=rng.spawn("engine"), trace=trace)
+    result = engine.run(scenario.max_rounds)
+
+    if algo.spec is not None:
+        violations = tuple(algo.spec(result))
+    else:
+        violations = check_consensus(result).violations
+    return RunRecord(
+        scenario=scenario,
+        backend=algo.backend,
+        decisions=dict(result.decisions),
+        decision_rounds=dict(result.decision_rounds),
+        crashed=result.crashed_pids,
+        f_actual=result.f,
+        rounds_executed=result.rounds_executed,
+        last_decision_round=result.last_decision_round,
+        messages_sent=result.stats.messages_sent,
+        bits_sent=result.stats.bits_sent,
+        spec_ok=not violations,
+        violations=violations,
+        raw=result,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous (◇S) backend.
+# ---------------------------------------------------------------------------
+
+
+def _execute_async(
+    scenario: Scenario,
+    algo: AlgorithmDef,
+    n: int,
+    t: int,
+    proposals: list[Any],
+    rng: RandomSource,
+) -> RunRecord:
+    from repro.asyncsim.failure_detector import DetectorSpec
+    from repro.asyncsim.runner import AsyncCrash, AsyncRunner
+
+    timing = dict(scenario.timing)
+    _check_timing_keys(timing, "async")
+    crashes = [
+        AsyncCrash(pid, time)
+        for pid, time in _timed_crashes(scenario, n, t, rng.spawn("adversary"))
+    ]
+    detector = DetectorSpec(
+        stabilization_time=float(timing.get("stabilization_time", 0.0)),
+        detection_latency=float(timing.get("detection_latency", 1.0)),
+        churn_rate=float(timing.get("churn_rate", 0.0)),
+        false_suspicion_duration=float(timing.get("false_suspicion_duration", 1.0)),
+    )
+    runner = AsyncRunner(
+        algo.factory(n, t, proposals, dict(scenario.params)),
+        t=t,
+        crashes=crashes,
+        delay_model=delay_model_from(timing),
+        detector_spec=detector,
+        rng=rng.spawn("engine"),
+    )
+    result = runner.run(
+        until=float(timing.get("until", 10_000.0)),
+        max_events=int(timing.get("max_events", 2_000_000)),
+    )
+    violations = tuple(result.check_consensus())
+    last_round = max(result.decision_rounds.values(), default=0)
+    return RunRecord(
+        scenario=scenario,
+        backend="async",
+        decisions=dict(result.decisions),
+        decision_rounds=dict(result.decision_rounds),
+        crashed=sorted(result.crashed),
+        f_actual=result.f,
+        rounds_executed=last_round,
+        last_decision_round=last_round,
+        messages_sent=result.stats.messages_sent,
+        bits_sent=result.stats.bits_sent,
+        spec_ok=not violations,
+        violations=violations,
+        sim_time=result.sim_time,
+        raw=result,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fast-failure-detector backend.
+# ---------------------------------------------------------------------------
+
+
+def _execute_ffd(
+    scenario: Scenario,
+    algo: AlgorithmDef,
+    n: int,
+    t: int,
+    proposals: list[Any],
+    rng: RandomSource,
+) -> RunRecord:
+    from repro.ffd.consensus import run_ffd_consensus
+    from repro.ffd.timed import TimedCrash, TimedSpec
+
+    timing = dict(scenario.timing)
+    _check_timing_keys(timing, "ffd")
+    spec = TimedSpec(
+        n=n,
+        D=float(timing.get("D", 100.0)),
+        d=float(timing.get("d", 1.0)),
+        delta_min=float(timing.get("delta_min", 0.3)),
+    )
+    crashes = [
+        TimedCrash(pid, time)
+        for pid, time in _timed_crashes(scenario, n, t, rng.spawn("adversary"))
+    ]
+    result = run_ffd_consensus(spec, proposals, crashes, rng=rng.spawn("engine"))
+    violations = tuple(result.check_consensus())
+    stats = result.stats
+    return RunRecord(
+        scenario=scenario,
+        backend="ffd",
+        decisions=dict(result.decisions),
+        decision_rounds={pid: 0 for pid in result.decisions},
+        crashed=sorted(result.crashed),
+        f_actual=result.f,
+        rounds_executed=0,
+        last_decision_round=0,
+        messages_sent=stats.messages_sent if stats is not None else 0,
+        bits_sent=stats.bits_sent if stats is not None else 0,
+        spec_ok=not violations,
+        violations=violations,
+        sim_time=result.sim_time,
+        raw=result,
+    )

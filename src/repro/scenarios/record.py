@@ -1,0 +1,118 @@
+"""The normalized result schema every backend reduces to.
+
+Whatever executes a scenario — round engine, asynchronous event queue, or
+the timed FFD environment — the caller gets one :class:`RunRecord`:
+decisions, decision rounds, crash set, message/bit totals, and a spec
+verdict, in backend-independent form.  The backend-native result object
+stays reachable via ``record.raw`` for callers that need model-specific
+detail (it is excluded from serialization).
+
+Records serialize to plain JSON (``to_dict``/``from_dict``) so sweeps can
+persist one record per line in a JSONL file and resume from it.  Decision
+payloads are mapped through :func:`jsonable` — value types the library
+uses (ints, strings, :class:`~repro.net.payload.SizedValue`, IC vectors,
+the ⊥ sentinels) all have stable encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.scenarios.scenario import Scenario
+
+__all__ = ["RunRecord", "jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort stable JSON encoding of a decision/proposal payload."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # SizedValue and the ⊥ sentinels are detected structurally to avoid
+    # importing every payload-defining module here.
+    if hasattr(value, "value") and hasattr(value, "bits"):
+        return {"$sized": [jsonable(value.value), value.bits]}
+    if repr(value) == "⊥":
+        return {"$bot": True}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return {"$repr": repr(value)}
+
+
+@dataclass(slots=True)
+class RunRecord:
+    """Everything observable about one executed scenario, normalized."""
+
+    scenario: Scenario
+    backend: str  # "extended" | "classic" | "async" | "ffd"
+    decisions: dict[int, Any]  # pid -> decided value
+    decision_rounds: dict[int, int]  # pid -> round (0 for purely timed decisions)
+    crashed: list[int]  # pids that crashed during the run
+    f_actual: int  # crashes that actually happened
+    rounds_executed: int
+    last_decision_round: int
+    messages_sent: int
+    bits_sent: int
+    spec_ok: bool
+    violations: tuple[str, ...]
+    sim_time: float | None = None  # continuous-time backends only
+    raw: Any = field(default=None, compare=False)  # backend-native result
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        verdict = "OK" if self.spec_ok else "; ".join(self.violations)
+        return (
+            f"{self.backend} run {self.scenario.algorithm} n={self.scenario.n} "
+            f"f={self.f_actual} rounds={self.last_decision_round} "
+            f"msgs={self.messages_sent} bits={self.bits_sent} spec={verdict}"
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (drops ``raw``)."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "backend": self.backend,
+            "decisions": {str(pid): jsonable(v) for pid, v in self.decisions.items()},
+            "decision_rounds": {
+                str(pid): r for pid, r in self.decision_rounds.items()
+            },
+            "crashed": list(self.crashed),
+            "f_actual": self.f_actual,
+            "rounds_executed": self.rounds_executed,
+            "last_decision_round": self.last_decision_round,
+            "messages_sent": self.messages_sent,
+            "bits_sent": self.bits_sent,
+            "spec_ok": self.spec_ok,
+            "violations": list(self.violations),
+            "sim_time": self.sim_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Decision payloads come back in their encoded (``jsonable``) form;
+        resumed sweep rows are used for aggregation and dedup, not for
+        re-instantiating payload objects.
+        """
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            backend=data["backend"],
+            decisions={int(pid): v for pid, v in data["decisions"].items()},
+            decision_rounds={
+                int(pid): int(r) for pid, r in data["decision_rounds"].items()
+            },
+            crashed=[int(pid) for pid in data["crashed"]],
+            f_actual=int(data["f_actual"]),
+            rounds_executed=int(data["rounds_executed"]),
+            last_decision_round=int(data["last_decision_round"]),
+            messages_sent=int(data["messages_sent"]),
+            bits_sent=int(data["bits_sent"]),
+            spec_ok=bool(data["spec_ok"]),
+            violations=tuple(data["violations"]),
+            sim_time=data.get("sim_time"),
+        )

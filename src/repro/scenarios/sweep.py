@@ -1,0 +1,341 @@
+"""Grid sweeps over scenarios: pluggable executors + JSONL persistence.
+
+:class:`SweepRunner` takes any iterable of :class:`Scenario` cells and
+executes them under a chosen executor:
+
+* ``"serial"`` — in-process loop (debuggable, zero overhead);
+* ``"process"`` — a ``multiprocessing`` pool, scenarios chunked so each
+  worker task amortizes pickling over ``chunk_size`` cells.  Scenarios
+  cross the process boundary as plain dicts; workers resolve names
+  against the registries their own import of :mod:`repro.scenarios`
+  built, so custom entries must be registered at module import time.
+
+With a ``jsonl_path`` every finished record is appended as one JSON line
+(scenario + record), and a rerun **resumes**: cells whose canonical
+scenario key already appears in the file are loaded instead of re-run.
+Interrupting a sweep therefore loses at most the in-flight chunk.
+
+Results come back in input order regardless of executor, so
+``serial`` and ``process`` sweeps of the same grid are equal record for
+record (pinned by ``tests/scenarios/test_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.scenarios.execute import execute
+from repro.scenarios.record import RunRecord
+from repro.scenarios.registry import ADVERSARIES, ALGORITHMS
+from repro.scenarios.scenario import Scenario, scenario_key
+
+__all__ = ["SweepRunner", "expand_grid", "CellSummary", "summarize_records"]
+
+
+def expand_grid(
+    algorithms: Sequence[str],
+    n_values: Sequence[int],
+    *,
+    f_values: Sequence[int] | None = None,
+    adversaries: Sequence[str] = ("none",),
+    seeds: int = 1,
+    t_rule: Callable[[str, int], int | None] | None = None,
+    base: Scenario | None = None,
+) -> list[Scenario]:
+    """Expand a cartesian grid into scenario cells.
+
+    ``f_values=None`` means "0..t for crashing adversaries, 0 for none".
+    ``t_rule(algorithm, n)`` may pin ``t`` per cell; by default the
+    algorithm's own rule applies (``t=None`` in the scenario).  ``base``
+    supplies non-grid fields (workload, timing, params).
+
+    Explicit ``f_values`` exceeding a combination's effective ``t``, and
+    (algorithm, adversary) pairs the adversary's backend plans cannot
+    serve, are dropped with a :class:`UserWarning` (a mixed grid
+    legitimately caps ``f`` or pairs adversaries per algorithm, but
+    silent drops would fake coverage — and an incompatible cell would
+    otherwise abort the sweep mid-run); a grid that expands to zero
+    cells is an error.
+    """
+    template = base if base is not None else Scenario(algorithm="crw", n=1)
+    cells: list[Scenario] = []
+    dropped: list[str] = []
+    for algorithm in algorithms:
+        algo = ALGORITHMS.get(algorithm)
+        for n in n_values:
+            t = t_rule(algorithm, n) if t_rule is not None else None
+            effective_t = t if t is not None else algo.default_t(n)
+            for adversary in adversaries:
+                adv = ADVERSARIES.get(adversary)
+                plan = (
+                    adv.make_sync
+                    if algo.backend in ("extended", "classic")
+                    else adv.make_timed
+                )
+                if plan is None:
+                    dropped.append(
+                        f"{algorithm} ({algo.backend}): adversary {adversary!r} "
+                        f"has no plan for that backend"
+                    )
+                    continue
+                if f_values is not None:
+                    fs = [f for f in f_values if f <= effective_t]
+                    if len(fs) < len(f_values):
+                        dropped.append(
+                            f"{algorithm} n={n} {adversary}: "
+                            f"f={sorted(set(f_values) - set(fs))} > t={effective_t}"
+                        )
+                elif adversary == "none":
+                    fs = [0]
+                else:
+                    fs = list(range(0, effective_t + 1))
+                for f in fs:
+                    for seed in range(seeds):
+                        cells.append(template.with_(
+                            algorithm=algorithm,
+                            n=n,
+                            t=t,
+                            f=f,
+                            adversary=adversary,
+                            seed=seed,
+                        ))
+    if dropped and cells:  # fully-empty grids raise below instead
+        warnings.warn(
+            "expand_grid dropped unexpressible cells: " + "; ".join(dropped),
+            UserWarning,
+            stacklevel=2,
+        )
+    if not cells:
+        # A silently empty grid would let `scenario sweep` "pass" without
+        # running anything; the usual cause is every requested f exceeding
+        # the effective t for the given algorithms and n values.
+        raise ConfigurationError(
+            f"grid expanded to zero cells (algorithms={list(algorithms)}, "
+            f"n={list(n_values)}, f={list(f_values) if f_values is not None else 'auto'}, "
+            f"adversaries={list(adversaries)}, seeds={seeds})"
+        )
+    return cells
+
+
+# -- process-pool workers (module level: must be picklable) -----------------
+
+
+def _run_cell(scenario_dict: dict[str, Any]) -> dict[str, Any]:
+    record = execute(Scenario.from_dict(scenario_dict))
+    return record.to_dict()
+
+
+def _run_chunk(chunk: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    return [_run_cell(cell) for cell in chunk]
+
+
+class SweepRunner:
+    """Execute a list of scenario cells with persistence and resume.
+
+    Parameters
+    ----------
+    scenarios:
+        The cells to run (ordering is preserved in the results).
+    executor:
+        ``"serial"`` or ``"process"``.
+    processes:
+        Pool size for the process executor (default: ``os.cpu_count()``,
+        capped at the number of chunks).
+    chunk_size:
+        Cells per worker task; seed-dense grids amortize pickling and
+        registry warm-up over each chunk.
+    jsonl_path:
+        Append-mode persistence file; pre-existing lines are treated as
+        completed cells (resume).
+    """
+
+    def __init__(
+        self,
+        scenarios: Iterable[Scenario],
+        *,
+        executor: str = "serial",
+        processes: int | None = None,
+        chunk_size: int = 16,
+        jsonl_path: str | os.PathLike[str] | None = None,
+    ) -> None:
+        self.scenarios = list(scenarios)
+        if executor not in ("serial", "process"):
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; available: serial, process"
+            )
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if processes is not None and processes < 1:
+            raise ConfigurationError(f"processes must be >= 1, got {processes}")
+        self.executor = executor
+        self.processes = processes
+        self.chunk_size = chunk_size
+        self.jsonl_path = os.fspath(jsonl_path) if jsonl_path is not None else None
+        #: Cells actually executed by the last :meth:`run` (excludes resumed).
+        self.executed = 0
+        #: Cells loaded from the JSONL file by the last :meth:`run`.
+        self.resumed = 0
+
+    # -- persistence -------------------------------------------------------
+
+    def _load_done(self) -> dict[str, dict[str, Any]]:
+        done: dict[str, dict[str, Any]] = {}
+        if self.jsonl_path is None or not os.path.exists(self.jsonl_path):
+            return done
+        with open(self.jsonl_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from an interrupted sweep
+                if not isinstance(entry, dict):
+                    continue  # foreign JSONL: valid JSON but not an object
+                record = entry.get("record")
+                if not isinstance(record, dict) or "scenario" not in record:
+                    continue
+                try:
+                    key = Scenario.from_dict(record["scenario"]).to_json()
+                except ConfigurationError:
+                    continue  # foreign/incompatible line: re-run that cell
+                done[key] = record
+        return done
+
+    def _append(self, fh, record_dict: dict[str, Any]) -> None:
+        if fh is None:
+            return
+        fh.write(json.dumps({"record": record_dict}, sort_keys=True) + "\n")
+        fh.flush()
+
+    # -- execution ---------------------------------------------------------
+
+    def _chunks(self, cells: list[dict[str, Any]]) -> Iterator[list[dict[str, Any]]]:
+        for i in range(0, len(cells), self.chunk_size):
+            yield cells[i : i + self.chunk_size]
+
+    def run(self) -> list[RunRecord]:
+        """Run every pending cell; return records for *all* cells, in order."""
+        done = self._load_done()
+        pending: list[Scenario] = []
+        pending_keys: set[str] = set()
+        resumed_keys: set[str] = set()
+        for s in self.scenarios:
+            key = scenario_key(s)
+            if key in done:
+                resumed_keys.add(key)
+            elif key not in pending_keys:  # duplicate cells run once
+                pending.append(s)
+                pending_keys.add(key)
+        self.resumed = len(resumed_keys)
+        self.executed = 0
+
+        fh = None
+        if self.jsonl_path is not None:
+            fh = open(self.jsonl_path, "a", encoding="utf-8")
+        try:
+            if self.executor == "serial":
+                for scenario in pending:
+                    record_dict = _run_cell(scenario.to_dict())
+                    done[scenario_key(scenario)] = record_dict
+                    self._append(fh, record_dict)
+                    self.executed += 1
+            else:
+                self._run_pool(pending, done, fh)
+        finally:
+            if fh is not None:
+                fh.close()
+
+        return [RunRecord.from_dict(done[scenario_key(s)]) for s in self.scenarios]
+
+    def _run_pool(self, pending, done, fh) -> None:
+        import multiprocessing
+
+        if not pending:
+            return
+        chunks = list(self._chunks([s.to_dict() for s in pending]))
+        workers = self.processes or os.cpu_count() or 2
+        workers = max(1, min(workers, len(chunks)))
+        with multiprocessing.Pool(processes=workers) as pool:
+            for chunk_result in pool.imap_unordered(_run_chunk, chunks):
+                for record_dict in chunk_result:
+                    key = Scenario.from_dict(record_dict["scenario"]).to_json()
+                    done[key] = record_dict
+                    self._append(fh, record_dict)
+                    self.executed += 1
+
+
+# ---------------------------------------------------------------------------
+# Aggregation.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class CellSummary:
+    """Aggregate of the seeds of one (algorithm, n, t, f, adversary) cell."""
+
+    algorithm: str
+    n: int
+    t: int | None
+    f: int
+    adversary: str
+    seeds: int
+    mean_last_round: float
+    max_last_round: int
+    mean_messages: float
+    mean_bits: float
+    spec_ok: bool
+    #: Mean simulated completion time; None for the round-based backends
+    #: (for ffd this is the metric that matters — rounds are always 0).
+    mean_sim_time: float | None = None
+
+
+def summarize_records(records: Iterable[RunRecord]) -> list[CellSummary]:
+    """Group records by cell (everything but the seed) and aggregate.
+
+    Cells differing only in workload/timing/params get separate rows
+    (their displayed columns may coincide; the averages never mix).
+    """
+    groups: dict[tuple, list[RunRecord]] = {}
+    for record in records:
+        s = record.scenario
+        key = (
+            s.algorithm, s.n, s.t, s.f, s.adversary,
+            s.with_(seed=0).to_json(),  # the full non-seed configuration
+        )
+        groups.setdefault(key, []).append(record)
+    out = []
+    for (algorithm, n, t, f, adversary, _config), group in sorted(
+        groups.items(),
+        key=lambda kv: (
+            kv[0][0],
+            kv[0][1],
+            -1 if kv[0][2] is None else kv[0][2],  # t=None ("auto") sorts first
+            kv[0][3],
+            kv[0][4],
+            kv[0][5],
+        ),
+    ):
+        rounds = [r.last_decision_round for r in group]
+        times = [r.sim_time for r in group if r.sim_time is not None]
+        out.append(CellSummary(
+            algorithm=algorithm,
+            n=n,
+            t=t,
+            f=f,
+            adversary=adversary,
+            seeds=len(group),
+            mean_last_round=sum(rounds) / len(group),
+            max_last_round=max(rounds),
+            mean_messages=sum(r.messages_sent for r in group) / len(group),
+            mean_bits=sum(r.bits_sent for r in group) / len(group),
+            spec_ok=all(r.spec_ok for r in group),
+            mean_sim_time=sum(times) / len(times) if times else None,
+        ))
+    return out

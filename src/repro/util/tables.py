@@ -1,7 +1,8 @@
 """ASCII / Markdown table rendering for benchmark and experiment reports.
 
 The benchmark harness prints every reproduced table with these helpers so
-the output can be pasted straight into ``EXPERIMENTS.md``.
+the output can be pasted straight into Markdown documents (the experiment
+record rendered by :mod:`repro.harness.report`, ``DESIGN.md``, PRs).
 """
 
 from __future__ import annotations

@@ -2,7 +2,21 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
+import sys
+
 import pytest
+
+# pytest's `pythonpath` ini option puts src/ on *this* process's path, but
+# subprocess-based tests (examples, CLI smoke) need the child to see it too.
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if _SRC not in os.environ.get("PYTHONPATH", "").split(os.pathsep):
+    os.environ["PYTHONPATH"] = (
+        _SRC + os.pathsep + os.environ["PYTHONPATH"]
+        if os.environ.get("PYTHONPATH")
+        else _SRC
+    )
 
 from repro.core.crw import CRWConsensus
 from repro.sync.crash import CrashSchedule

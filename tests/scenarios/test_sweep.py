@@ -1,0 +1,203 @@
+"""SweepRunner: executor equivalence, JSONL persistence, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    RunRecord,
+    Scenario,
+    SweepRunner,
+    expand_grid,
+    summarize_records,
+)
+
+
+def small_grid(seeds=3):
+    return expand_grid(
+        ["crw", "early-stopping"], [4],
+        adversaries=("coordinator-killer",), seeds=seeds,
+    )
+
+
+class TestExpandGrid:
+    def test_f_defaults_to_zero_to_t(self):
+        cells = expand_grid(["crw"], [4], adversaries=("coordinator-killer",), seeds=2)
+        assert len(cells) == 4 * 2  # f in 0..3, 2 seeds
+        assert {c.f for c in cells} == {0, 1, 2, 3}
+
+    def test_none_adversary_is_failure_free_only(self):
+        cells = expand_grid(["crw"], [4], adversaries=("none",), seeds=2)
+        assert {c.f for c in cells} == {0}
+
+    def test_respects_algorithm_default_t(self):
+        cells = expand_grid(["mr99"], [5], adversaries=("coordinator-killer",), seeds=1)
+        assert {c.f for c in cells} == {0, 1, 2}  # t = (n-1)//2 = 2
+
+    def test_partial_f_drop_warns(self):
+        # mr99 n=5 has t=2, so f=2 survives but the crw cells keep f=2 too;
+        # a grid mixing algorithms may legally cap f per algorithm, but the
+        # drop must be announced.
+        with pytest.warns(UserWarning, match="dropped unexpressible cells"):
+            cells = expand_grid(["crw", "mr99"], [5], f_values=[0, 3],
+                                adversaries=("coordinator-killer",), seeds=1)
+        assert {(c.algorithm, c.f) for c in cells} == {
+            ("crw", 0), ("crw", 3), ("mr99", 0),
+        }
+
+    def test_incompatible_adversary_cells_dropped_with_warning(self):
+        # commit-splitter has no timed plan: the mr99 column must be
+        # dropped up front instead of aborting the sweep mid-run.
+        with pytest.warns(UserWarning, match="no plan"):
+            cells = expand_grid(["crw", "mr99"], [5], f_values=[1],
+                                adversaries=("commit-splitter",), seeds=1)
+        assert {c.algorithm for c in cells} == {"crw"}
+
+    def test_empty_grid_rejected(self):
+        # Every f exceeds t=3: silently running zero cells would let a
+        # mistyped sweep "pass" in CI.
+        with pytest.raises(ConfigurationError, match="zero cells"):
+            expand_grid(["crw"], [4], f_values=[5, 6],
+                        adversaries=("coordinator-killer",), seeds=1)
+
+    def test_ffd_summary_surfaces_sim_time(self):
+        # FFD runs have no rounds; the sweep summary must expose the
+        # timing metric instead of an all-zero rounds column only.
+        cells = expand_grid(["ffd"], [6], f_values=[0, 2],
+                            adversaries=("coordinator-killer",), seeds=2)
+        rows = summarize_records(SweepRunner(cells).run())
+        assert all(row.mean_sim_time is not None and row.mean_sim_time > 0
+                   for row in rows)
+        sync_rows = summarize_records(SweepRunner(
+            expand_grid(["crw"], [4], adversaries=("none",), seeds=1)).run())
+        assert sync_rows[0].mean_sim_time is None
+
+    def test_summaries_sort_numerically(self):
+        cells = expand_grid(["crw"], [4, 16], f_values=[1],
+                            adversaries=("coordinator-killer",), seeds=1)
+        rows = summarize_records(SweepRunner(cells).run())
+        assert [row.n for row in rows] == [4, 16]  # not lexicographic '16' < '4'
+
+
+class TestSweepRunner:
+    def test_serial_matches_individual_execute(self):
+        from repro.scenarios import execute
+
+        cells = small_grid(seeds=2)
+        records = SweepRunner(cells).run()
+        assert len(records) == len(cells)
+        spot = execute(cells[3])
+        assert records[3].to_dict() == spot.to_dict()
+
+    def test_process_pool_equals_serial(self):
+        cells = small_grid(seeds=3)
+        serial = SweepRunner(cells, executor="serial").run()
+        pooled = SweepRunner(
+            cells, executor="process", processes=2, chunk_size=4
+        ).run()
+        assert [r.to_dict() for r in pooled] == [r.to_dict() for r in serial]
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner([], executor="gpu")
+
+    def test_summarize_groups_by_cell(self):
+        records = SweepRunner(small_grid(seeds=2)).run()
+        rows = summarize_records(records)
+        assert all(row.seeds == 2 for row in rows)
+        assert all(row.spec_ok for row in rows)
+        crw_worst = {row.f: row.max_last_round for row in rows if row.algorithm == "crw"}
+        assert all(crw_worst[f] <= f + 1 for f in crw_worst)
+
+
+class TestJsonlResume:
+    def test_hundred_cell_pool_sweep_with_resume(self, tmp_path):
+        """ISSUE acceptance: a 100-cell sweep runs under the process pool
+        and resumes from its JSONL after interruption."""
+        path = tmp_path / "sweep.jsonl"
+        cells = expand_grid(
+            ["crw"], [4], f_values=[0, 1], adversaries=("coordinator-killer",),
+            seeds=50,
+        )
+        assert len(cells) == 100
+
+        # "Interrupted" first attempt: only a prefix got persisted.
+        first = SweepRunner(cells[:37], executor="process", processes=2,
+                            chunk_size=10, jsonl_path=path)
+        first.run()
+        assert first.executed == 37
+
+        # Resumed full sweep: only the missing 63 cells execute.
+        full = SweepRunner(cells, executor="process", processes=2,
+                           chunk_size=10, jsonl_path=path)
+        records = full.run()
+        assert full.resumed == 37
+        assert full.executed == 63
+        assert len(records) == 100
+
+        # Records come back in input order and match a fresh serial run.
+        fresh = SweepRunner(cells, executor="serial").run()
+        assert [r.to_dict() for r in records] == [r.to_dict() for r in fresh]
+
+        # The file now covers every cell: a further rerun executes nothing.
+        rerun = SweepRunner(cells, executor="serial", jsonl_path=path)
+        rerun.run()
+        assert rerun.executed == 0 and rerun.resumed == 100
+
+    def test_duplicate_cells_execute_once(self):
+        cell = Scenario(algorithm="crw", n=4, f=1, adversary="coordinator-killer")
+        runner = SweepRunner([cell, cell, cell])
+        records = runner.run()
+        assert runner.executed == 1
+        assert len(records) == 3  # every occurrence still gets its record
+        assert records[0].to_dict() == records[2].to_dict()
+
+    def test_foreign_jsonl_line_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cells = small_grid(seeds=1)
+        # A syntactically valid line whose scenario has an unknown key
+        # (e.g. written by a newer version) must not abort the resume.
+        path.write_text(
+            json.dumps({"record": {"scenario": {"algorithm": "crw", "n": 4,
+                                                "from_the_future": 1}}}) + "\n"
+            + json.dumps({"record": {"scenario": {"n": 4}}}) + "\n"  # missing keys
+            + json.dumps([1, 2, 3]) + "\n"  # valid JSON, not an object
+        )
+        runner = SweepRunner(cells, jsonl_path=path)
+        records = runner.run()
+        assert runner.executed == len(cells) and runner.resumed == 0
+        assert len(records) == len(cells)
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cells = small_grid(seeds=1)
+        runner = SweepRunner(cells, jsonl_path=path)
+        runner.run()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"record": {"scenario"')  # interrupted mid-write
+        resumed = SweepRunner(cells, jsonl_path=path)
+        records = resumed.run()
+        assert resumed.executed == 0
+        assert len(records) == len(cells)
+
+    def test_record_round_trips_through_jsonl(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        cell = Scenario(algorithm="crw", n=4, f=1, adversary="coordinator-killer")
+        (record,) = SweepRunner([cell], jsonl_path=path).run()
+        with open(path, encoding="utf-8") as fh:
+            stored = RunRecord.from_dict(json.loads(fh.readline())["record"])
+        assert stored.scenario == cell
+        assert stored.decisions == record.decisions
+        assert stored.spec_ok == record.spec_ok
+
+    def test_sized_payloads_serialize(self, tmp_path):
+        path = tmp_path / "sized.jsonl"
+        cell = Scenario(algorithm="crw", n=4, workload="sized",
+                        workload_params={"bits": 64})
+        (record,) = SweepRunner([cell], jsonl_path=path).run()
+        assert record.spec_ok
+        line = json.loads(open(path, encoding="utf-8").readline())
+        assert list(line["record"]["decisions"].values())[0] == {"$sized": [101, 64]}
