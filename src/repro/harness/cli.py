@@ -343,7 +343,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--seeds", type=int, default=10)
     p_sw.add_argument("--executor", choices=("serial", "process"), default="serial")
     p_sw.add_argument("--jobs", type=int, default=None, help="process-pool size")
-    p_sw.add_argument("--chunk-size", type=int, default=16)
+    p_sw.add_argument("--chunk-size", type=int, default=None,
+                      help="cells per worker task (default: auto-tuned)")
     p_sw.add_argument("--jsonl", default=None, help="JSONL persistence/resume file")
     p_sw.add_argument("--json", action="store_true", help="machine-readable output")
     p_sw.set_defaults(func=_cmd_scenario_sweep)

@@ -4,6 +4,17 @@ Theorem 2 (bit complexity) is reproduced by instrumenting every engine with
 a :class:`MessageStats` sink.  Sends and deliveries are counted separately:
 a message *sent* by a process that crashed mid-step may never be
 *delivered*, and the paper's worst-case bound counts transmitted messages.
+
+Two interfaces feed the counters:
+
+* :meth:`MessageStats.on_send` / :meth:`MessageStats.on_deliver` take a
+  materialized :class:`~repro.net.message.Message` (the traced path and
+  the continuous-time simulators);
+* :meth:`MessageStats.bulk_data` / :meth:`MessageStats.bulk_control`
+  charge whole batches without any message objects — the synchronous
+  fast path counts a round's traffic the way the paper's analysis does,
+  in aggregate.  Both interfaces produce identical totals (pinned by
+  ``tests/net/test_accounting.py``).
 """
 
 from __future__ import annotations
@@ -64,6 +75,29 @@ class MessageStats:
                 self.async_sent += 1
             else:
                 self.async_delivered += 1
+
+    # -- batch interface (allocation-free fast path) -----------------------
+
+    def bulk_data(self, count: int, bits: int, *, delivered: bool = False) -> None:
+        """Charge ``count`` DATA messages totalling ``bits`` in one call.
+
+        Charges the sent counters by default; pass ``delivered=True`` for
+        the delivered side (a delivered batch must also have been charged
+        as sent, exactly like the per-message interface).
+        """
+        if delivered:
+            self.data_delivered += count
+            self.bits_delivered += bits
+        else:
+            self.data_sent += count
+            self.bits_sent += bits
+
+    def bulk_control(self, sent: int, delivered: int) -> None:
+        """Charge a batch of CONTROL messages (exactly 1 bit each)."""
+        self.control_sent += sent
+        self.control_delivered += delivered
+        self.bits_sent += sent
+        self.bits_delivered += delivered
 
     # -- derived ----------------------------------------------------------
 

@@ -21,11 +21,25 @@ Algorithms may also send :class:`SizedValue` to model an application value
 of a *fixed declared width* (e.g. "a 1024-bit proposal") irrespective of the
 Python object used to carry it — this is what the E2 benchmark uses to sweep
 ``|v|``.
+
+Sizing is memoized for *leaf* payloads (``bool``/``int``/``float``/``str``/
+``bytes``/``None``) and hashable objects exposing ``bit_size()``: CRW-style
+algorithms broadcast one identical payload to ``n - 1`` destinations every
+round, so the hot path would otherwise recompute the same width n(n-1)
+times per run.  The cache key pairs the value with its concrete type
+because Python equates ``True == 1 == 1.0`` while the encoding above sizes
+them differently.  Containers are *not* memoized — their equality compares
+elements cross-type (``(1,) == (True,)``), which would let differently
+sized payloads share a cache slot — but their elements still hit the leaf
+cache.  Payloads are assumed immutable once sent (the
+:class:`~repro.net.message.Message` contract); an unhashable payload falls
+through to a direct computation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any
 
 from repro.errors import ConfigurationError
@@ -55,8 +69,8 @@ class SizedValue:
         return f"{self.value}<{self.bits}b>"
 
 
-def bit_size(payload: Any) -> int:
-    """Number of bits charged for sending ``payload`` (see module docs)."""
+def _bit_size_impl(payload: Any) -> int:
+    """The actual encoding rules (uncached; see module docs)."""
     if payload is None:
         return 0
     size_method = getattr(payload, "bit_size", None)
@@ -80,3 +94,27 @@ def bit_size(payload: Any) -> int:
         f"cannot size payload of type {type(payload).__name__}; "
         "give it a bit_size() method or wrap it in SizedValue"
     )
+
+
+@lru_cache(maxsize=4096)
+def _bit_size_typed(tp: type, payload: Any) -> int:
+    # `tp` is part of the key so True / 1 / 1.0 (equal, same hash) cannot
+    # share a cache slot despite their different widths.
+    return _bit_size_impl(payload)
+
+
+#: Exact types whose (type, value) pair fully determines the bit size.
+_LEAF_TYPES = frozenset({bool, int, float, str, bytes, type(None)})
+
+
+def bit_size(payload: Any) -> int:
+    """Number of bits charged for sending ``payload`` (see module docs)."""
+    cls = payload.__class__
+    if cls in _LEAF_TYPES:
+        return _bit_size_typed(cls, payload)
+    if callable(getattr(payload, "bit_size", None)):
+        try:
+            return _bit_size_typed(cls, payload)
+        except TypeError:  # unhashable sized object
+            return _bit_size_impl(payload)
+    return _bit_size_impl(payload)

@@ -178,15 +178,30 @@ def _execute_sync(
         violations = tuple(algo.spec(result))
     else:
         violations = check_consensus(result).violations
+    # One pass over the outcomes; the RunResult derived-view properties
+    # would each re-iterate all n of them.
+    decisions: dict[int, Any] = {}
+    decision_rounds: dict[int, int] = {}
+    crashed: list[int] = []
+    last_decision_round = 0
+    for pid, outcome in result.outcomes.items():
+        if outcome.decided:
+            decisions[pid] = outcome.decision
+            decision_rounds[pid] = outcome.decided_round
+            if outcome.decided_round > last_decision_round:
+                last_decision_round = outcome.decided_round
+        if outcome.crashed:
+            crashed.append(pid)
+    crashed.sort()
     return RunRecord(
         scenario=scenario,
         backend=algo.backend,
-        decisions=dict(result.decisions),
-        decision_rounds=dict(result.decision_rounds),
-        crashed=result.crashed_pids,
-        f_actual=result.f,
+        decisions=decisions,
+        decision_rounds=decision_rounds,
+        crashed=crashed,
+        f_actual=len(crashed),
         rounds_executed=result.rounds_executed,
-        last_decision_round=result.last_decision_round,
+        last_decision_round=last_decision_round,
         messages_sent=result.stats.messages_sent,
         bits_sent=result.stats.bits_sent,
         spec_ok=not violations,

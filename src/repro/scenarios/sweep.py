@@ -13,7 +13,12 @@ executes them under a chosen executor:
 With a ``jsonl_path`` every finished record is appended as one JSON line
 (scenario + record), and a rerun **resumes**: cells whose canonical
 scenario key already appears in the file are loaded instead of re-run.
-Interrupting a sweep therefore loses at most the in-flight chunk.
+Writes are buffered and flushed once per completed chunk rather than per
+record (a per-record ``write``+``flush`` dominates sweep wall-clock on
+fast cells); interrupting a sweep therefore loses at most the in-flight
+chunk — the same durability unit the process pool already had.  Serial
+sweeps additionally flush every :attr:`SweepRunner.FLUSH_INTERVAL_S`
+seconds, so slow cells keep near-per-record durability.
 
 Results come back in input order regardless of executor, so
 ``serial`` and ``process`` sweeps of the same grid are equal record for
@@ -24,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -126,7 +132,11 @@ def expand_grid(
 
 
 def _run_cell(scenario_dict: dict[str, Any]) -> dict[str, Any]:
-    record = execute(Scenario.from_dict(scenario_dict))
+    # trace=False pins sweep cells to the engines' allocation-free fast
+    # path; per-event traces of thousands of cells would be pure overhead
+    # (records are byte-identical either way — see the fast-path parity
+    # grid in tests/sync/test_fastpath_parity.py).
+    record = execute(Scenario.from_dict(scenario_dict), trace=False)
     return record.to_dict()
 
 
@@ -148,11 +158,18 @@ class SweepRunner:
         capped at the number of chunks).
     chunk_size:
         Cells per worker task; seed-dense grids amortize pickling and
-        registry warm-up over each chunk.
+        registry warm-up over each chunk.  ``None`` (the default) sizes
+        chunks automatically: large enough to amortize IPC, small enough
+        to keep every worker busy (~4 chunks per worker).
     jsonl_path:
         Append-mode persistence file; pre-existing lines are treated as
         completed cells (resume).
     """
+
+    #: Serial executor: flush the JSONL buffer at least this often even
+    #: when the per-count threshold is not reached, so sweeps over slow
+    #: cells keep near-per-record durability.
+    FLUSH_INTERVAL_S = 2.0
 
     def __init__(
         self,
@@ -160,7 +177,7 @@ class SweepRunner:
         *,
         executor: str = "serial",
         processes: int | None = None,
-        chunk_size: int = 16,
+        chunk_size: int | None = None,
         jsonl_path: str | os.PathLike[str] | None = None,
     ) -> None:
         self.scenarios = list(scenarios)
@@ -168,7 +185,7 @@ class SweepRunner:
             raise ConfigurationError(
                 f"unknown executor {executor!r}; available: serial, process"
             )
-        if chunk_size < 1:
+        if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         if processes is not None and processes < 1:
             raise ConfigurationError(f"processes must be >= 1, got {processes}")
@@ -208,17 +225,43 @@ class SweepRunner:
                 done[key] = record
         return done
 
-    def _append(self, fh, record_dict: dict[str, Any]) -> None:
-        if fh is None:
+    @staticmethod
+    def _flush(fh, buffer: list[dict[str, Any]]) -> None:
+        """Write buffered records as one syscall-sized append, then flush."""
+        if fh is None or not buffer:
+            buffer.clear()
             return
-        fh.write(json.dumps({"record": record_dict}, sort_keys=True) + "\n")
+        fh.write(
+            "".join(
+                json.dumps({"record": record}, sort_keys=True) + "\n"
+                for record in buffer
+            )
+        )
         fh.flush()
+        buffer.clear()
 
     # -- execution ---------------------------------------------------------
 
-    def _chunks(self, cells: list[dict[str, Any]]) -> Iterator[list[dict[str, Any]]]:
-        for i in range(0, len(cells), self.chunk_size):
-            yield cells[i : i + self.chunk_size]
+    def _effective_chunk_size(self, pending_count: int, workers: int) -> int:
+        """The chunk size actually used for this run.
+
+        Auto-tuning targets ~4 chunks per worker so a straggler chunk
+        cannot idle the rest of the pool, capped at 64 cells so one chunk
+        never holds back persistence for too long, floored at 8 to keep
+        pickling/IPC amortized.
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if workers <= 1 or pending_count == 0:
+            return 32
+        per_worker = -(-pending_count // (workers * 4))  # ceil division
+        return max(8, min(64, per_worker))
+
+    def _chunks(
+        self, cells: list[dict[str, Any]], chunk_size: int
+    ) -> Iterator[list[dict[str, Any]]]:
+        for i in range(0, len(cells), chunk_size):
+            yield cells[i : i + chunk_size]
 
     def run(self) -> list[RunRecord]:
         """Run every pending cell; return records for *all* cells, in order."""
@@ -239,36 +282,51 @@ class SweepRunner:
         fh = None
         if self.jsonl_path is not None:
             fh = open(self.jsonl_path, "a", encoding="utf-8")
+        buffer: list[dict[str, Any]] = []
         try:
             if self.executor == "serial":
+                chunk_size = self._effective_chunk_size(len(pending), workers=1)
+                last_flush = time.monotonic()
                 for scenario in pending:
                     record_dict = _run_cell(scenario.to_dict())
                     done[scenario_key(scenario)] = record_dict
-                    self._append(fh, record_dict)
+                    buffer.append(record_dict)
+                    # Count-based flushing amortizes write+flush over fast
+                    # cells; the time trigger bounds how much work an
+                    # interrupted sweep of *slow* cells can lose.
+                    if (
+                        len(buffer) >= chunk_size
+                        or time.monotonic() - last_flush >= self.FLUSH_INTERVAL_S
+                    ):
+                        self._flush(fh, buffer)
+                        last_flush = time.monotonic()
                     self.executed += 1
             else:
-                self._run_pool(pending, done, fh)
+                self._run_pool(pending, done, fh, buffer)
         finally:
+            self._flush(fh, buffer)
             if fh is not None:
                 fh.close()
 
         return [RunRecord.from_dict(done[scenario_key(s)]) for s in self.scenarios]
 
-    def _run_pool(self, pending, done, fh) -> None:
+    def _run_pool(self, pending, done, fh, buffer) -> None:
         import multiprocessing
 
         if not pending:
             return
-        chunks = list(self._chunks([s.to_dict() for s in pending]))
         workers = self.processes or os.cpu_count() or 2
+        chunk_size = self._effective_chunk_size(len(pending), workers)
+        chunks = list(self._chunks([s.to_dict() for s in pending], chunk_size))
         workers = max(1, min(workers, len(chunks)))
         with multiprocessing.Pool(processes=workers) as pool:
             for chunk_result in pool.imap_unordered(_run_chunk, chunks):
                 for record_dict in chunk_result:
                     key = Scenario.from_dict(record_dict["scenario"]).to_json()
                     done[key] = record_dict
-                    self._append(fh, record_dict)
+                    buffer.append(record_dict)
                     self.executed += 1
+                self._flush(fh, buffer)  # one append+flush per finished chunk
 
 
 # ---------------------------------------------------------------------------

@@ -49,27 +49,53 @@ class SendPlan:
     data: Mapping[int, Any] = field(default_factory=dict)
     control: tuple[int, ...] = ()
 
-    def validate(self, pid: int, n: int, allow_control: bool) -> None:
-        """Check the plan against model rules; raise on violation."""
-        for dest in self.data:
-            if not (1 <= dest <= n) or dest == pid:
-                raise ModelViolationError(
-                    f"p{pid}: invalid data destination {dest} (n={n})"
-                )
+    def validate(
+        self,
+        pid: int,
+        n: int,
+        allow_control: bool,
+        *,
+        pids: frozenset[int] | None = None,
+    ) -> None:
+        """Check the plan against model rules; raise on violation.
+
+        ``pids`` is an optional precomputed ``frozenset(range(1, n + 1))``:
+        engines validating every plan of every round pass it so the
+        destination checks run as C-level set comparisons instead of a
+        Python loop per destination; the slow per-destination loop is kept
+        only to produce the precise error message on violation.
+        """
+        if pids is not None:
+            data_ok = not self.data or (
+                pid not in self.data and self.data.keys() <= pids
+            )
+        else:
+            data_ok = all(1 <= dest <= n and dest != pid for dest in self.data)
+        if not data_ok:
+            for dest in self.data:
+                if not (1 <= dest <= n) or dest == pid:
+                    raise ModelViolationError(
+                        f"p{pid}: invalid data destination {dest} (n={n})"
+                    )
         if self.control:
             if not allow_control:
                 raise ModelViolationError(
                     f"p{pid}: control messages are not part of the classic model"
                 )
-            if len(set(self.control)) != len(self.control):
+            dests = set(self.control)
+            if len(dests) != len(self.control):
                 raise ModelViolationError(
                     f"p{pid}: duplicate control destinations {self.control}"
                 )
-            for dest in self.control:
-                if not (1 <= dest <= n) or dest == pid:
-                    raise ModelViolationError(
-                        f"p{pid}: invalid control destination {dest} (n={n})"
-                    )
+            if pid in dests or not (
+                dests <= pids if pids is not None
+                else all(1 <= dest <= n for dest in dests)
+            ):
+                for dest in self.control:
+                    if not (1 <= dest <= n) or dest == pid:
+                        raise ModelViolationError(
+                            f"p{pid}: invalid control destination {dest} (n={n})"
+                        )
 
 
 #: Shared empty plan for rounds in which a process stays silent.

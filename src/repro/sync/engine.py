@@ -22,21 +22,46 @@ Message accounting: a message is *sent* if it escaped the crashing process
 receiver been up) and *delivered* if a live, undecided, non-crashing
 process actually consumed it.  Sends addressed to processes that already
 crashed/decided still count as sent — the sender cannot know.
+
+Two delivery paths implement identical semantics:
+
+* **traced** (``trace.enabled``): one frozen :class:`Message` per
+  (sender, dest) pair, recorded event by event — what tests and the
+  analysis layer inspect;
+* **fast** (tracing off — the sweep/benchmark default): no message
+  objects at all.  Payloads are written straight into the per-receiver
+  inbox dicts and accounting happens through the bulk
+  :class:`MessageStats` interface, charging a round's traffic in
+  aggregate exactly like the paper's counting arguments do.
+
+The two paths produce identical :class:`RoundOutcome`/:class:`MessageStats`
+(pinned by ``tests/sync/test_fastpath_parity.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Any, Mapping
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.accounting import MessageStats
 from repro.net.message import Message, MessageKind
-from repro.sync.api import RoundInbox, SendPlan, SyncProcess
+from repro.net.payload import bit_size
+from repro.sync.api import NO_SEND, RoundInbox, SendPlan, SyncProcess
 from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule, ResolvedCrash
 from repro.sync.result import ProcessOutcome, RunResult
 from repro.util.rng import RandomSource
 from repro.util.trace import Trace
+
+#: Shared inbox constant: frozensets are immutable, so every receiver of a
+#: control-free round can hold the same object without aliasing risk.
+_NO_CONTROL: frozenset[int] = frozenset()
+
+#: Shared inbox for receivers that heard nothing this round.  The data view
+#: is a read-only mapping proxy, so accidental mutation by an algorithm
+#: raises instead of leaking between processes.
+_EMPTY_INBOX = RoundInbox(data=MappingProxyType({}), control=_NO_CONTROL)
 
 __all__ = [
     "RoundOutcome",
@@ -67,6 +92,9 @@ def execute_round(
     stats: MessageStats,
     trace: Trace,
     rng: RandomSource | None,
+    n: int | None = None,
+    pids: frozenset[int] | None = None,
+    active_order: list[int] | None = None,
 ) -> RoundOutcome:
     """Execute one round over ``active`` processes; mutates process state.
 
@@ -74,14 +102,31 @@ def execute_round(
     pids in ``active`` matter; a process that already crashed or decided
     cannot crash again).  The caller updates the ``active`` set from the
     returned outcome.
-    """
-    n = next(iter(procs.values())).n if procs else 0
 
-    # Phase 1: collect send plans from every active process.
+    ``n``, ``pids`` (``frozenset(range(1, n + 1))``), and ``active_order``
+    (``active`` in ascending pid order) are optional precomputed values:
+    engines stepping many rounds pass them so each round neither
+    rediscovers the system size, re-materializes the valid destination
+    set for plan validation, nor re-sorts the active set.
+    """
+    if n is None:
+        n = next(iter(procs.values())).n if procs else 0
+    traced = trace.enabled
+
+    # Phase 1: collect send plans from every active process.  Senders with
+    # anything to say are collected separately so delivery skips the
+    # (typically many) silent processes entirely.
+    if active_order is None:
+        active_order = sorted(active)
     plans: dict[int, SendPlan] = {}
-    for pid in sorted(active):
+    senders: list[int] = []
+    for pid in active_order:
         plan = procs[pid].send_phase(round_no)
-        plan.validate(pid, n, allow_control=allow_control)
+        # NO_SEND is the canonical silent plan; the identity test skips the
+        # attribute loads for the (typically many) quiet processes.
+        if plan is not NO_SEND and (plan.data or plan.control):
+            plan.validate(pid, n, allow_control=allow_control, pids=pids)
+            senders.append(pid)
         plans[pid] = plan
 
     # Phase 2: resolve this round's crashes against actual plans.
@@ -90,31 +135,98 @@ def execute_round(
         if pid not in active:
             continue
         plan = plans[pid]
-        resolved[pid] = event.resolve(plan.data.keys(), plan.control, rng)
-        trace.record(
-            round_no,
-            "crash",
-            pid,
-            point=event.point.value,
-            data_subset=tuple(sorted(resolved[pid].data_subset)),
-            control_prefix=resolved[pid].control_prefix,
-        )
+        rc = event.resolve(plan.data.keys(), plan.control, rng)
+        resolved[pid] = rc
+        if traced:
+            trace.record(
+                round_no,
+                "crash",
+                pid,
+                point=event.point.value,
+                data_subset=tuple(sorted(rc.data_subset)),
+                control_prefix=rc.control_prefix,
+            )
 
-    crashing = set(resolved)
-    receivers = active - crashing  # crashed processes receive nothing this round
+    # Crashed processes receive nothing this round.
+    if resolved:
+        crashing = set(resolved)
+        receivers = active - crashing
+        receiver_order = [pid for pid in active_order if pid not in crashing]
+    else:
+        receivers = active
+        receiver_order = active_order
 
     # Phase 3: deliver.  Data step first, then control step (plan order).
-    data_in: dict[int, dict[int, Any]] = {pid: {} for pid in receivers}
-    control_in: dict[int, set[int]] = {pid: set() for pid in receivers}
+    # Inbox containers are allocated lazily — only receivers that actually
+    # hear something this round get a dict/set.
+    data_in: dict[int, dict[int, Any]] = {}
+    control_in: dict[int, set[int]] = {}
 
-    for sender in sorted(active):
+    if traced:
+        _deliver_traced(
+            senders, plans, resolved, receivers, round_no,
+            stats, trace, data_in, control_in,
+        )
+    else:
+        _deliver_fast(
+            senders, plans, resolved, receivers,
+            stats, data_in, control_in,
+        )
+
+    # Phase 4: receive + compute for the survivors.
+    inboxes: dict[int, RoundInbox] = {}
+    new_decisions: dict[int, Any] = {}
+    get_data = data_in.get
+    get_control = control_in.get
+    for pid in receiver_order:
+        data = get_data(pid)
+        control = get_control(pid)
+        if data is None and control is None:
+            inbox = _EMPTY_INBOX
+        else:
+            inbox = RoundInbox(
+                data={} if data is None else data,
+                control=_NO_CONTROL if control is None else frozenset(control),
+            )
+        inboxes[pid] = inbox
+        proc = procs[pid]
+        proc.compute_phase(round_no, inbox)
+        # Reads the SyncProcess decision slots directly: the two property
+        # hops per process per round are measurable on n=128 grids.
+        if proc._decided:
+            new_decisions[pid] = proc._decision
+            if traced:
+                trace.record(round_no, "decide", pid, value=proc._decision)
+
+    return RoundOutcome(
+        round_no=round_no,
+        plans=plans,
+        resolved_crashes=resolved,
+        inboxes=inboxes,
+        new_decisions=new_decisions,
+    )
+
+
+def _deliver_traced(
+    senders: list[int],
+    plans: dict[int, SendPlan],
+    resolved: dict[int, ResolvedCrash],
+    receivers: set[int],
+    round_no: int,
+    stats: MessageStats,
+    trace: Trace,
+    data_in: dict[int, dict[int, Any]],
+    control_in: dict[int, set[int]],
+) -> None:
+    """Per-message delivery: materializes every message, records every event."""
+    for sender in senders:
         plan = plans[sender]
         rc = resolved.get(sender)
         if rc is None:
-            data_dests = set(plan.data.keys())
+            data_dests = plan.data.keys()
             control_dests = plan.control
         else:
-            data_dests = set(rc.data_subset)
+            data_dests = rc.data_subset
             control_dests = plan.control[: rc.control_prefix]
 
         for dest in sorted(data_dests):
@@ -124,7 +236,7 @@ def execute_round(
             stats.on_send(msg)
             if dest in receivers:
                 stats.on_deliver(msg)
-                data_in[dest][sender] = plan.data[dest]
+                data_in.setdefault(dest, {})[sender] = plan.data[dest]
                 trace.record(
                     round_no, "deliver.data", sender, dest=dest, payload=plan.data[dest]
                 )
@@ -137,30 +249,69 @@ def execute_round(
             stats.on_send(msg)
             if dest in receivers:
                 stats.on_deliver(msg)
-                control_in[dest].add(sender)
+                control_in.setdefault(dest, set()).add(sender)
                 trace.record(round_no, "deliver.control", sender, dest=dest)
             else:
                 trace.record(round_no, "drop.control", sender, dest=dest)
 
-    # Phase 4: receive + compute for the survivors.
-    inboxes: dict[int, RoundInbox] = {}
-    new_decisions: dict[int, Any] = {}
-    for pid in sorted(receivers):
-        inbox = RoundInbox(data=data_in[pid], control=frozenset(control_in[pid]))
-        inboxes[pid] = inbox
-        proc = procs[pid]
-        proc.compute_phase(round_no, inbox)
-        if proc.decided:
-            new_decisions[pid] = proc.decision
-            trace.record(round_no, "decide", pid, value=proc.decision)
 
-    return RoundOutcome(
-        round_no=round_no,
-        plans=plans,
-        resolved_crashes=resolved,
-        inboxes=inboxes,
-        new_decisions=new_decisions,
-    )
+def _deliver_fast(
+    senders: list[int],
+    plans: dict[int, SendPlan],
+    resolved: dict[int, ResolvedCrash],
+    receivers: set[int],
+    stats: MessageStats,
+    data_in: dict[int, dict[int, Any]],
+    control_in: dict[int, set[int]],
+) -> None:
+    """Allocation-free delivery: no ``Message`` objects, bulk accounting.
+
+    Totals are identical to :func:`_deliver_traced` — data bits are still
+    sized per payload (memoized in :mod:`repro.net.payload`), only charged
+    in one batch per (sender, step) instead of per message.
+    """
+    for sender in senders:
+        plan = plans[sender]
+        rc = resolved.get(sender)
+        data = plan.data
+        if rc is None:
+            control_dests = plan.control
+        else:
+            control_dests = plan.control[: rc.control_prefix]
+            if rc.data_subset:
+                # Escaped subset only; preserve per-payload bit sizing.
+                data = {dest: data[dest] for dest in rc.data_subset}
+            else:
+                data = None
+
+        if data:
+            sent_bits = 0
+            delivered = 0
+            delivered_bits = 0
+            for dest, payload in data.items():
+                bits = bit_size(payload)
+                sent_bits += bits
+                if dest in receivers:
+                    delivered += 1
+                    delivered_bits += bits
+                    inbox = data_in.get(dest)
+                    if inbox is None:
+                        inbox = data_in[dest] = {}
+                    inbox[sender] = payload
+            stats.bulk_data(len(data), sent_bits)
+            if delivered:
+                stats.bulk_data(delivered, delivered_bits, delivered=True)
+
+        if control_dests:
+            delivered = 0
+            for dest in control_dests:
+                if dest in receivers:
+                    delivered += 1
+                    heard = control_in.get(dest)
+                    if heard is None:
+                        heard = control_in[dest] = set()
+                    heard.add(sender)
+            stats.bulk_control(len(control_dests), delivered)
 
 
 class SynchronousEngine:
@@ -210,7 +361,14 @@ class SynchronousEngine:
         self.rng = rng
         self.stats = MessageStats()
         self.trace = Trace(enabled=trace)
+        self._pids: frozenset[int] = frozenset(pids)
         self._active: set[int] = set(pids)
+        self._active_order: list[int] = list(pids)  # kept sorted across steps
+        self._crashes_by_round: dict[int, dict[int, CrashEvent]] = {}
+        for ev in sorted(
+            self.schedule.events.values(), key=lambda e: (e.round_no, e.pid)
+        ):
+            self._crashes_by_round.setdefault(ev.round_no, {})[ev.pid] = ev
         self._crashed_round: dict[int, int] = {}
         self._decided_round: dict[int, int] = {}
         self._proposals: dict[int, Any] = {
@@ -235,20 +393,18 @@ class SynchronousEngine:
         if not self._active:
             raise SimulationError("step() called with no active processes")
         self._round += 1
-        events = {
-            ev.pid: ev
-            for ev in self.schedule.crashes_in_round(self._round)
-            if ev.pid in self._active
-        }
         outcome = execute_round(
             self.procs,
             self._active,
             self._round,
-            events,
+            self._crashes_by_round.get(self._round, {}),
             allow_control=self.allow_control,
             stats=self.stats,
             trace=self.trace,
             rng=self.rng,
+            n=self.n,
+            pids=self._pids,
+            active_order=self._active_order,
         )
         for pid in outcome.resolved_crashes:
             self._crashed_round[pid] = self._round
@@ -256,6 +412,10 @@ class SynchronousEngine:
         for pid in outcome.new_decisions:
             self._decided_round[pid] = self._round
             self._active.discard(pid)
+        if outcome.resolved_crashes or outcome.new_decisions:
+            self._active_order = [
+                pid for pid in self._active_order if pid in self._active
+            ]
         return outcome
 
     def run(self, max_rounds: int | None = None) -> RunResult:

@@ -11,7 +11,7 @@ from repro.util.trace import Trace
 __all__ = ["ProcessOutcome", "RunResult"]
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class ProcessOutcome:
     """Final state of one process after a run.
 
@@ -19,6 +19,12 @@ class ProcessOutcome:
     did not happen.  A process may have *both* a decision and a later crash
     only in the degenerate sense of deciding then halting — halting after a
     decision is normal termination, not recorded as a crash.
+
+    Treat instances as immutable.  The class is not ``frozen`` because a
+    frozen dataclass pays an ``object.__setattr__`` per field on every
+    construction, and ``result()`` builds ``n`` of these per run on the
+    benchmark hot path; ``unsafe_hash`` keeps the by-value hashing frozen
+    used to provide.
     """
 
     pid: int

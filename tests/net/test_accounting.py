@@ -56,3 +56,43 @@ class TestMessageStats:
         s = MessageStats()
         s.on_send(_data())
         assert "data 1/0" in str(s)
+
+
+class TestBulkInterface:
+    """The batch counters must be totals-equivalent to the per-message API."""
+
+    def test_bulk_data_matches_per_message(self):
+        per_msg, bulk = MessageStats(), MessageStats()
+        payloads = [SizedValue(0, 8), SizedValue(1, 8), SizedValue(2, 24)]
+        for i, payload in enumerate(payloads):
+            msg = Message(MessageKind.DATA, 1, 2 + i, 1, payload=payload)
+            per_msg.on_send(msg)
+            per_msg.on_deliver(msg)
+        bulk.bulk_data(3, 8 + 8 + 24)
+        bulk.bulk_data(3, 8 + 8 + 24, delivered=True)
+        assert bulk == per_msg
+
+    def test_bulk_data_sent_only(self):
+        s = MessageStats()
+        s.bulk_data(5, 40)
+        assert (s.data_sent, s.data_delivered) == (5, 0)
+        assert (s.bits_sent, s.bits_delivered) == (40, 0)
+
+    def test_bulk_control_matches_per_message(self):
+        per_msg, bulk = MessageStats(), MessageStats()
+        for dest in (2, 3, 4):
+            msg = Message(MessageKind.CONTROL, 1, dest, 1)
+            per_msg.on_send(msg)
+            if dest != 4:  # one control message dropped
+                per_msg.on_deliver(msg)
+        bulk.bulk_control(sent=3, delivered=2)
+        assert bulk == per_msg
+
+    def test_bulk_merge_roundtrip(self):
+        a, b = MessageStats(), MessageStats()
+        a.bulk_data(2, 16)
+        b.bulk_control(4, 4)
+        a.merge(b)
+        assert a.messages_sent == 6
+        assert a.bits_sent == 20
+        assert a.bits_delivered == 4

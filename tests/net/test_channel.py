@@ -85,3 +85,47 @@ class TestChannelNetwork:
         net.send(_msg(1, 3))
         assert net.total_in_transit() == 2
         assert {(c.sender, c.dest) for c in net.nonempty()} == {(1, 2), (1, 3)}
+
+    def test_nonempty_index_tracks_send_and_deliver(self):
+        net = ChannelNetwork(3)
+        assert net.nonempty() == [] and net.total_in_transit() == 0
+        net.send(_msg(2, 1))
+        net.send(_msg(2, 1))
+        net.send(_msg(3, 1))
+        assert net.total_in_transit() == 3
+        assert [(c.sender, c.dest) for c in net.nonempty()] == [(2, 1), (3, 1)]
+        net.channel(2, 1).deliver()
+        # One message left on (2,1): still indexed nonempty.
+        assert net.total_in_transit() == 2
+        assert [(c.sender, c.dest) for c in net.nonempty()] == [(2, 1), (3, 1)]
+        net.channel(2, 1).deliver()
+        assert [(c.sender, c.dest) for c in net.nonempty()] == [(3, 1)]
+        net.channel(3, 1).deliver()
+        assert net.nonempty() == [] and net.total_in_transit() == 0
+
+    def test_index_correct_via_directly_held_channel(self):
+        # The index must stay right when callers bypass ChannelNetwork.send
+        # and drive a FifoChannel they obtained from the network.
+        net = ChannelNetwork(3)
+        ch = net.channel(1, 2)
+        ch.send(_msg(1, 2))
+        assert net.total_in_transit() == 1
+        assert net.nonempty() == [ch]
+        ch.deliver()
+        assert net.total_in_transit() == 0 and net.nonempty() == []
+
+    def test_nonempty_order_is_stable(self):
+        # Same (sender, dest) ascending order as the full-matrix scan,
+        # regardless of traffic order.
+        net = ChannelNetwork(4)
+        for s, d in [(3, 1), (1, 4), (2, 3), (1, 2)]:
+            net.send(_msg(s, d))
+        assert [(c.sender, c.dest) for c in net.nonempty()] == [
+            (1, 2), (1, 4), (2, 3), (3, 1),
+        ]
+
+    def test_incoming_outgoing_order_unchanged(self):
+        net = ChannelNetwork(4)
+        net.send(_msg(3, 1))
+        assert [(c.sender, c.dest) for c in net.incoming(1)] == [(2, 1), (3, 1), (4, 1)]
+        assert [(c.sender, c.dest) for c in net.outgoing(1)] == [(1, 2), (1, 3), (1, 4)]

@@ -60,6 +60,51 @@ class TestBitSize:
         assert bit_size(v) == bit_size(-v)
 
 
+class TestMemoization:
+    """bit_size caches leaf/sized payloads without conflating equal values."""
+
+    def test_bool_int_float_never_share_a_slot(self):
+        # True == 1 == 1.0 in Python; the type-qualified cache key must
+        # keep their different widths apart in either query order.
+        assert bit_size(True) == 1
+        assert bit_size(1) == 2
+        assert bit_size(1.0) == 64
+        assert bit_size(True) == 1  # still right after the others cached
+
+    def test_container_equality_does_not_leak(self):
+        # (1, 1) == (True, True) with equal hashes; containers are sized
+        # structurally every time precisely so this cannot collide.
+        assert bit_size((1, 1)) == 8 + 4
+        assert bit_size((True, True)) == 8 + 2
+        assert bit_size((1, 1)) == 8 + 4
+
+    def test_repeated_sized_value_stable(self):
+        v = SizedValue("proposal", 1024)
+        assert bit_size(v) == bit_size(v) == 1024
+
+    def test_unhashable_payload_falls_through(self):
+        assert bit_size([1, 2]) == 8 + 2 + 3
+        assert bit_size({1: "a"}) == 8 + 2 + 8
+        assert bit_size({1, 2}) == 8 + 2 + 3
+
+    def test_unhashable_sized_object(self):
+        class UnhashableSized:
+            __hash__ = None  # type: ignore[assignment]
+
+            def bit_size(self):
+                return 7
+
+        assert bit_size(UnhashableSized()) == 7
+
+    def test_int_subclass_not_cached_as_int(self):
+        class WideInt(int):
+            def bit_size(self):
+                return 4096
+
+        assert bit_size(WideInt(1)) == 4096
+        assert bit_size(1) == 2
+
+
 class TestSizedValue:
     def test_declared_width_wins(self):
         assert bit_size(SizedValue("anything", 1024)) == 1024
