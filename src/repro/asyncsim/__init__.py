@@ -1,7 +1,7 @@
 """Asynchronous substrate: event simulator, ◇S detector, MR99 consensus."""
 
 from repro.asyncsim.chandra_toueg import ChandraTouegConsensus
-from repro.asyncsim.events import Event, EventQueue
+from repro.asyncsim.events import EventQueue
 from repro.asyncsim.failure_detector import DetectorSpec, SimulatedDiamondS
 from repro.asyncsim.mr99 import BOT, MR99Consensus
 from repro.asyncsim.network import (
@@ -17,7 +17,6 @@ from repro.asyncsim.runner import AsyncCrash, AsyncRunner, AsyncRunResult
 
 __all__ = [
     "ChandraTouegConsensus",
-    "Event",
     "EventQueue",
     "DetectorSpec",
     "SimulatedDiamondS",

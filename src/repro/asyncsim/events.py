@@ -2,44 +2,54 @@
 
 The asynchronous substrate (Section 4's MR99 bridge) and the timed
 fast-failure-detector model (related work [1]) both run on this engine:
-a priority queue of ``(time, seq, action)`` entries executed in
+a priority heap of ``(time, seq, action, arg)`` tuples executed in
 chronological order.  ``seq`` breaks ties deterministically in insertion
 order, so runs are exactly reproducible for a given seed.
+
+The entries are plain tuples on purpose: a heap of ordered dataclasses
+pays a Python ``__lt__`` call per comparison, which profiling showed as
+the single largest line of the MR99 kernel; tuple comparison happens in
+C and never reaches the ``action`` element because ``seq`` is unique.
+``arg`` carries an optional single argument for ``action`` so hot
+callers (the network's delivery path) can schedule one shared bound
+method per queue instead of allocating a closure per message.
+
+Cancellation uses a tombstone set keyed by ``seq``: a cancelled entry
+stays in the heap but is dropped un-executed when it surfaces, and the
+heap is compacted eagerly once more than half of it is dead — so a
+protocol that schedules many timers and cancels most of them no longer
+leaks heap space until drain.  ``executed`` counts exactly the actions
+that ran: tombstoned entries never increment it.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError, SimulationError
 
-__all__ = ["EventQueue", "Event"]
-
-
-@dataclass(order=True)
-class Event:
-    """One scheduled action.  Ordering: time, then insertion sequence."""
-
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-
-    def cancel(self) -> None:
-        """Mark the event as a no-op (it stays in the heap but won't run)."""
-        self.cancelled = True
+__all__ = ["EventQueue"]
 
 
 class EventQueue:
-    """A deterministic simulated-time event loop."""
+    """A deterministic simulated-time event loop.
+
+    :meth:`schedule` / :meth:`schedule_at` return the entry's ``seq``
+    token; pass it to :meth:`cancel` to revoke the event.  ``label`` is
+    accepted as a readability aid at call sites but not stored — entries
+    are bare tuples.
+    """
+
+    __slots__ = ("_heap", "_seq", "_now", "_pending", "_cancelled", "_dead", "executed")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Callable[..., None], Any]] = []
         self._seq = 0
         self._now = 0.0
+        self._pending: set[int] = set()  # seqs of entries still in the heap
+        self._cancelled: set[int] = set()  # tombstones: seqs to drop unrun
+        self._dead = 0  # tombstoned entries still sitting in the heap
         self.executed = 0
 
     @property
@@ -47,25 +57,76 @@ class EventQueue:
         """Current simulated time."""
         return self._now
 
-    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``action`` to run ``delay`` time units from now."""
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[..., None],
+        arg: Any = None,
+        label: str = "",
+    ) -> int:
+        """Schedule ``action`` to run ``delay`` time units from now.
+
+        ``arg`` is passed to ``action`` at fire time when not None —
+        schedule a shared bound method plus its argument instead of a
+        per-event closure on hot paths.  Returns the cancellation token.
+        """
         if delay < 0:
             raise ConfigurationError(f"cannot schedule into the past (delay={delay})")
-        ev = Event(time=self._now + delay, seq=self._seq, action=action, label=label)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
-        return ev
+        seq = self._seq
+        self._seq = seq + 1
+        self._pending.add(seq)
+        heapq.heappush(self._heap, (self._now + delay, seq, action, arg))
+        return seq
 
-    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[..., None],
+        arg: Any = None,
+        label: str = "",
+    ) -> int:
         """Schedule ``action`` at absolute simulated time ``time``."""
         if time < self._now:
             raise ConfigurationError(
                 f"cannot schedule at {time} < now {self._now}"
             )
-        ev = Event(time=time, seq=self._seq, action=action, label=label)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
-        return ev
+        seq = self._seq
+        self._seq = seq + 1
+        self._pending.add(seq)
+        heapq.heappush(self._heap, (time, seq, action, arg))
+        return seq
+
+    def cancel(self, seq: int) -> None:
+        """Revoke the event with token ``seq`` (idempotent).
+
+        The entry stays in the heap as a tombstone and is dropped without
+        running when it surfaces; once tombstones exceed half the heap,
+        the heap is rebuilt without them.  Cancelling an event that
+        already ran (or an unknown token) is a no-op — it never
+        un-counts :attr:`executed` and never skews the live-entry
+        accounting behind :meth:`__len__`.
+        """
+        if seq not in self._pending or seq in self._cancelled:
+            return
+        self._cancelled.add(seq)
+        self._dead += 1
+        if self._dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstoned entry and restore the heap invariant.
+
+        In place (slice assignment) on purpose: :meth:`run` holds a local
+        reference to the heap list while events execute, and an event's
+        action may trigger compaction through :meth:`cancel`.
+        """
+        cancelled = self._cancelled
+        heap = self._heap
+        heap[:] = [e for e in heap if e[1] not in cancelled]
+        heapq.heapify(heap)
+        self._pending.difference_update(cancelled)
+        cancelled.clear()
+        self._dead = 0
 
     def run(
         self,
@@ -80,19 +141,33 @@ class EventQueue:
         ``stop()`` turns true (checked between events), or ``max_events``
         executed (then raises — a runaway protocol is a bug, not a result).
         """
-        while self._heap:
+        heap = self._heap
+        pop = heapq.heappop
+        pending = self._pending
+        cancelled = self._cancelled
+        while heap:
             if stop is not None and stop():
                 break
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+            entry = heap[0]
+            if entry[1] in cancelled:
+                pop(heap)
+                cancelled.discard(entry[1])
+                pending.discard(entry[1])
+                self._dead -= 1
                 continue
-            if until is not None and ev.time > until:
+            if until is not None and entry[0] > until:
                 # Leave the event unexecuted; the horizon ends the run.
-                heapq.heappush(self._heap, ev)
                 self._now = until
                 break
-            self._now = ev.time
-            ev.action()
+            pop(heap)
+            pending.discard(entry[1])
+            self._now = entry[0]
+            action = entry[2]
+            arg = entry[3]
+            if arg is None:
+                action()
+            else:
+                action(arg)
             self.executed += 1
             if self.executed > max_events:
                 raise SimulationError(
@@ -101,4 +176,5 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Pending live (non-tombstoned) entries."""
+        return len(self._heap) - self._dead

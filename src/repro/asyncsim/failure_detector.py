@@ -95,18 +95,19 @@ class SimulatedDiamondS:
     def notify_crash(self, pid: int) -> None:
         """Record a real crash; schedule its detection at every observer."""
         self._crashed.add(pid)
+        schedule = self.queue.schedule
+        latency_bound = self.spec.detection_latency
+        uniform = self.rng.uniform
         for observer in range(1, self.n + 1):
             if observer == pid:
                 continue
-            # Detection latency is per (observer, crashed) pair.
-            latency = self.spec.detection_latency * self.rng.uniform(0.5, 1.0)
-            self.queue.schedule(
-                latency,
-                lambda o=observer, p=pid: self._report(o, p),
-                label=f"fd detect p{pid} at p{observer}",
-            )
+            # Detection latency is per (observer, crashed) pair.  One
+            # shared bound method carries (observer, pid) as the event
+            # argument — no closure per observer.
+            schedule(latency_bound * uniform(0.5, 1.0), self._report, (observer, pid))
 
-    def _report(self, observer: int, pid: int) -> None:
+    def _report(self, entry: tuple[int, int]) -> None:
+        observer, pid = entry
         if pid not in self._reported[observer]:
             self._reported[observer].add(pid)
             self.on_change(observer)
@@ -127,11 +128,10 @@ class SimulatedDiamondS:
                 self.queue.schedule(
                     self.spec.false_suspicion_duration,
                     lambda: self._retract(observer, victim),
-                    label=f"fd retract p{victim} at p{observer}",
                 )
             self._schedule_churn(observer)
 
-        self.queue.schedule(gap, misfire, label=f"fd churn at p{observer}")
+        self.queue.schedule(gap, misfire)
 
     def _retract(self, observer: int, victim: int) -> None:
         if victim in self._false[observer]:

@@ -63,16 +63,20 @@ class ProcessContext:
             # through the event queue at zero delay: delivering synchronously
             # would re-enter the protocol handler that is sending right now,
             # and the outer frame would then resume with stale state.
-            self._queue.schedule(
-                0.0, lambda: self._local_deliver(msg), label=f"self-deliver p{self.pid}"
-            )
+            self._queue.schedule(0.0, self._local_deliver, msg)
         else:
             self._network.send(msg)
 
     def broadcast(self, tag: str, payload: Any, round_no: int = 0) -> None:
-        """Send to every process including self (self delivery is local)."""
-        for dest in range(1, self.n + 1):
-            self.send(dest, tag, payload, round_no)
+        """Send to every process including self (self delivery is local).
+
+        Delegates to the network's batched broadcast: byte-identical to a
+        loop of :meth:`send` over ``1..n`` but with one bulk accounting
+        charge and no per-message closures.
+        """
+        self._network.broadcast(
+            self.pid, self.n, tag, payload, round_no, self._local_deliver
+        )
 
     def suspects(self, pid: int) -> bool:
         """Query this process's failure-detector module."""
@@ -96,6 +100,10 @@ class AsyncProcess(abc.ABC):
         self._decision: Any = None
         self._decision_time = 0.0
         self._decision_round = 0
+        #: Runner-installed callback fired once on the first decision, so
+        #: the run loop's stop predicate can be O(1) instead of scanning
+        #: every process between every event.
+        self._settle_hook: Callable[[int], None] | None = None
 
     # -- runner wiring -------------------------------------------------------
 
@@ -132,6 +140,8 @@ class AsyncProcess(abc.ABC):
         self._decision = value
         self._decision_time = self.ctx.now if self.ctx is not None else 0.0
         self._decision_round = round_no
+        if self._settle_hook is not None:
+            self._settle_hook(self.pid)
 
     @property
     def decided(self) -> bool:

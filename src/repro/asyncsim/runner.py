@@ -112,7 +112,13 @@ class AsyncRunner:
             stats=self.stats,
         )
         self._crashed: dict[int, float] = {}
+        # Settled = decided or crashed.  Processes report decisions through
+        # the settle hook and crashes drain through _crash(), so the run
+        # loop's stop predicate is one truthiness test per event instead of
+        # an all-processes scan.
+        self._unsettled: set[int] = set(self.procs)
         for p in processes:
+            p._settle_hook = self._unsettled.discard
             p.attach(
                 ProcessContext(
                     p.pid, n, self.queue, self.network, self.detector, self._deliver
@@ -133,30 +139,29 @@ class AsyncRunner:
     def _crash(self, pid: int) -> None:
         if pid not in self._crashed:
             self._crashed[pid] = self.queue.now
+            self._unsettled.discard(pid)
             self.detector.notify_crash(pid)
+
+    def _start_if_alive(self, pid: int) -> None:
+        # A process crashed at time 0 (scheduled before the starts, hence
+        # earlier in the queue) must never run its start handler.
+        if pid not in self._crashed:
+            self.procs[pid].on_start()
 
     # -- execution --------------------------------------------------------------
 
     def run(self, *, until: float = 10_000.0, max_events: int = 2_000_000) -> AsyncRunResult:
         """Start every process, inject crashes, drain events, report."""
         for crash in self.crashes:
-            self.queue.schedule_at(
-                crash.time, lambda p=crash.pid: self._crash(p), label=f"crash p{crash.pid}"
-            )
-        # Start order is randomised: asynchrony includes start skew.  A
-        # process crashed at time 0 (scheduled above, hence earlier in the
-        # queue) must never run its start handler.
-        def start(pid: int) -> None:
-            if pid not in self._crashed:
-                self.procs[pid].on_start()
-
+            self.queue.schedule_at(crash.time, self._crash, crash.pid)
+        # Start order is randomised: asynchrony includes start skew.
         for pid in self.rng.shuffle(sorted(self.procs)):
-            self.queue.schedule(0.0, lambda p=pid: start(p), label=f"start p{pid}")
+            self.queue.schedule(0.0, self._start_if_alive, pid)
+
+        unsettled = self._unsettled
 
         def all_settled() -> bool:
-            return all(
-                p.decided or pid in self._crashed for pid, p in self.procs.items()
-            )
+            return not unsettled
 
         end = self.queue.run(until=until, max_events=max_events, stop=all_settled)
 

@@ -32,17 +32,25 @@ reached *anyone* without reaching ``p`` would have made the count drop), and
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.baselines.floodset import value_key
-from repro.sync.api import RoundInbox, SendPlan, SyncProcess
+from repro.sync.api import (
+    BatchedAlgorithm,
+    RoundInbox,
+    SendPlan,
+    SyncProcess,
+    register_batched_table,
+)
 
 __all__ = ["EarlyStoppingConsensus"]
 
 
 class EarlyStoppingConsensus(SyncProcess):
     """One early-stopping flooding process (classic model)."""
+
+    __slots__ = ("proposal", "t", "est", "early", "_prev_nbr")
 
     def __init__(self, pid: int, n: int, proposal: Any, t: int) -> None:
         super().__init__(pid, n)
@@ -84,3 +92,72 @@ class EarlyStoppingConsensus(SyncProcess):
         if flagged or nbr == self._prev_nbr:
             self.early = True
         self._prev_nbr = nbr
+
+
+@register_batched_table(EarlyStoppingConsensus)
+class _EarlyStoppingTable(BatchedAlgorithm):
+    """Columnar early-stopping: ``est``/``early``/``nbr`` in parallel lists."""
+
+    __slots__ = ("n", "horizon", "est", "early", "prev_nbr", "dests")
+
+    def __init__(self, processes: Sequence[SyncProcess]) -> None:
+        n = processes[0].n
+        self.n = n
+        self.horizon = [0] * (n + 1)
+        self.est: list[Any] = [None] * (n + 1)
+        self.early = [False] * (n + 1)
+        self.prev_nbr = [0] * (n + 1)
+        self.dests: list[tuple[int, ...]] = [()] * (n + 1)
+        for p in processes:
+            self.horizon[p.pid] = p.t + 1
+            self.est[p.pid] = p.est
+            self.early[p.pid] = p.early
+            self.prev_nbr[p.pid] = p._prev_nbr
+            self.dests[p.pid] = tuple(j for j in range(1, n + 1) if j != p.pid)
+
+    @classmethod
+    def from_processes(cls, processes: Sequence[SyncProcess]) -> "_EarlyStoppingTable":
+        return cls(processes)
+
+    def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
+        est = self.est
+        early = self.early
+        dests = self.dests
+        return {
+            pid: SendPlan(data=dict.fromkeys(dests[pid], (est[pid], early[pid])))
+            for pid in active
+        }
+
+    def compute_phase_all(
+        self, round_no: int, inboxes: Mapping[int, RoundInbox]
+    ) -> dict[int, Any]:
+        est = self.est
+        early = self.early
+        prev_nbr = self.prev_nbr
+        horizon = self.horizon
+        decisions: dict[int, Any] = {}
+        for pid, inbox in inboxes.items():
+            if early[pid]:
+                # The EARLY broadcast of this round completed: decide it.
+                decisions[pid] = est[pid]
+                continue
+            data = inbox.data
+            nbr = len(data) + 1
+            flagged = False
+            my_est = est[pid]
+            my_key = value_key(my_est)
+            for got, got_early in data.values():
+                key = value_key(got)
+                if key < my_key:
+                    my_est = got
+                    my_key = key
+                if got_early:
+                    flagged = True
+            est[pid] = my_est
+            if round_no == horizon[pid]:
+                decisions[pid] = my_est
+                continue
+            if flagged or nbr == prev_nbr[pid]:
+                early[pid] = True
+            prev_nbr[pid] = nbr
+        return decisions

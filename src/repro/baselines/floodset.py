@@ -24,11 +24,23 @@ comparable value — comparison uses the wrapped value).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.net.payload import SizedValue
-from repro.sync.api import NO_SEND, RoundInbox, SendPlan, SyncProcess
+from repro.sync.api import (
+    EMPTY_INBOX,
+    NO_SEND,
+    BatchedAlgorithm,
+    RoundInbox,
+    SendPlan,
+    SyncProcess,
+    register_batched_table,
+)
+
+#: Shared "learned nothing" value for the relay column: only ever tested for
+#: emptiness or subtracted from, never mutated in place.
+_NOTHING_NEW: frozenset[Any] = frozenset()
 
 __all__ = ["FloodSetConsensus", "value_key"]
 
@@ -42,6 +54,8 @@ def value_key(value: Any) -> Any:
 
 class FloodSetConsensus(SyncProcess):
     """One FloodSet process (classic synchronous model, ``t+1`` rounds)."""
+
+    __slots__ = ("proposal", "t", "known", "_new")
 
     def __init__(self, pid: int, n: int, proposal: Any, t: int) -> None:
         super().__init__(pid, n)
@@ -73,3 +87,68 @@ class FloodSetConsensus(SyncProcess):
         self.known |= self._new
         if round_no == self.horizon:
             self.decide(min(self.known, key=value_key))
+
+
+@register_batched_table(FloodSetConsensus)
+class _FloodSetTable(BatchedAlgorithm):
+    """Columnar FloodSet: ``known``/``new`` sets in pid-indexed lists.
+
+    Every process broadcasts to the same (precomputed) destination tuple,
+    so a round's plans are ``dict.fromkeys`` calls instead of per-process
+    dict comprehensions behind a method dispatch.
+    """
+
+    __slots__ = ("n", "horizon", "known", "new", "dests")
+
+    def __init__(self, processes: Sequence[SyncProcess]) -> None:
+        n = processes[0].n
+        self.n = n
+        self.horizon = [0] * (n + 1)
+        self.known: list[set[Any]] = [set() for _ in range(n + 1)]
+        self.new: list[set[Any]] = [set() for _ in range(n + 1)]
+        self.dests: list[tuple[int, ...]] = [()] * (n + 1)
+        for p in processes:
+            self.horizon[p.pid] = p.horizon
+            self.known[p.pid] = set(p.known)
+            self.new[p.pid] = set(p._new)
+            self.dests[p.pid] = tuple(j for j in range(1, n + 1) if j != p.pid)
+
+    @classmethod
+    def from_processes(cls, processes: Sequence[SyncProcess]) -> "_FloodSetTable":
+        return cls(processes)
+
+    def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
+        plans: dict[int, SendPlan] = {}
+        horizon = self.horizon
+        new = self.new
+        dests = self.dests
+        for pid in active:
+            fresh = new[pid]
+            if round_no > horizon[pid] or not fresh:
+                plans[pid] = NO_SEND
+            else:
+                plans[pid] = SendPlan(
+                    data=dict.fromkeys(dests[pid], frozenset(fresh))
+                )
+        return plans
+
+    def compute_phase_all(
+        self, round_no: int, inboxes: Mapping[int, RoundInbox]
+    ) -> dict[int, Any]:
+        known = self.known
+        new = self.new
+        horizon = self.horizon
+        decisions: dict[int, Any] = {}
+        for pid, inbox in inboxes.items():
+            if inbox is EMPTY_INBOX:
+                new[pid] = _NOTHING_NEW  # W unchanged; stay silent next round
+            else:
+                incoming: set[Any] = set()
+                for values in inbox.data.values():
+                    incoming.update(values)
+                fresh = incoming - known[pid]
+                new[pid] = fresh
+                known[pid] |= fresh
+            if round_no == horizon[pid]:
+                decisions[pid] = min(known[pid], key=value_key)
+        return decisions

@@ -39,16 +39,29 @@ Properties (Theorems 1 and 2): uniform consensus, decision by round
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Mapping, Sequence
 
 from repro.errors import ModelViolationError
-from repro.sync.api import NO_SEND, RoundInbox, SendPlan, SyncProcess
+from repro.sync.api import (
+    EMPTY_INBOX,
+    NO_SEND,
+    BatchedAlgorithm,
+    RoundInbox,
+    SendPlan,
+    SyncProcess,
+    register_batched_table,
+)
 
-__all__ = ["CRWConsensus"]
+__all__ = ["CRWConsensus", "CRWTable"]
+
+#: Missing-payload sentinel for the table's single-lookup inbox reads.
+_MISS = object()
 
 
 class CRWConsensus(SyncProcess):
     """Process of the paper's Figure-1 algorithm (extended model only)."""
+
+    __slots__ = ("proposal", "est")
 
     def __init__(self, pid: int, n: int, proposal: Any) -> None:
         super().__init__(pid, n)
@@ -93,3 +106,72 @@ class CRWConsensus(SyncProcess):
                     f"p{self.pid}: COMMIT from p{coord} without its DATA in round {round_no}"
                 )
             self.decide(self.est)
+
+
+@register_batched_table(CRWConsensus)
+class CRWTable(BatchedAlgorithm):
+    """Columnar Figure-1 table: every ``est`` in one pid-indexed list.
+
+    Round ``r`` of the algorithm touches one coordinator plan and, per
+    receiver, two inbox membership tests and at most one adoption — none
+    of which needs a per-process method dispatch.  The table mirrors
+    :class:`CRWConsensus` hook for hook (same plans, same adoptions, same
+    model-violation errors), which the batched parity grid pins.
+    """
+
+    __slots__ = ("n", "est")
+
+    def __init__(self, n: int, est: list[Any]) -> None:
+        self.n = n
+        self.est = est  # pid-indexed (slot 0 unused)
+
+    @classmethod
+    def from_processes(cls, processes: Sequence[SyncProcess]) -> "CRWTable":
+        est: list[Any] = [None] * (processes[0].n + 1)
+        for p in processes:
+            est[p.pid] = p.est
+        return cls(processes[0].n, est)
+
+    def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
+        if active and active[0] < round_no:
+            # Mirrors the per-process guard, raised for the same (lowest
+            # active) pid the per-process loop would have reached first.
+            raise ModelViolationError(
+                f"p{active[0]} reached round {round_no} > own id; "
+                "coordinators decide or crash at their own round (Figure 1: 'cannot happen')"
+            )
+        plans = dict.fromkeys(active, NO_SEND)
+        if round_no in plans:
+            plans[round_no] = SendPlan(
+                data=dict.fromkeys(
+                    range(round_no + 1, self.n + 1), self.est[round_no]
+                ),
+                control=tuple(range(self.n, round_no, -1)),
+            )
+        return plans
+
+    def compute_phase_all(
+        self, round_no: int, inboxes: Mapping[int, RoundInbox]
+    ) -> dict[int, Any]:
+        est = self.est
+        decisions: dict[int, Any] = {}
+        for pid, inbox in inboxes.items():
+            if inbox is EMPTY_INBOX:
+                # An empty inbox only matters to the coordinator (line 6:
+                # it decides its own estimate regardless of receipt).
+                if pid == round_no:
+                    decisions[pid] = est[pid]
+                continue
+            if pid == round_no:
+                decisions[pid] = est[pid]  # line 6: coordinator decides
+                continue
+            value = inbox.data.get(round_no, _MISS)
+            if value is not _MISS:  # line 7: adopt the coordinator's estimate
+                est[pid] = value
+                if round_no in inbox.control:  # line 8: locked -> decide
+                    decisions[pid] = value
+            elif round_no in inbox.control:
+                raise ModelViolationError(
+                    f"p{pid}: COMMIT from p{round_no} without its DATA in round {round_no}"
+                )
+        return decisions

@@ -24,10 +24,18 @@ These exist to make the *limit* half of the paper executable:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Mapping, Sequence
 
-from repro.core.crw import CRWConsensus
-from repro.sync.api import NO_SEND, RoundInbox, SendPlan, SyncProcess
+from repro.core.crw import CRWConsensus, CRWTable
+from repro.sync.api import (
+    EMPTY_INBOX,
+    NO_SEND,
+    BatchedAlgorithm,
+    RoundInbox,
+    SendPlan,
+    SyncProcess,
+    register_batched_table,
+)
 
 __all__ = ["EagerCRW", "TruncatedCRW", "IncreasingCommitCRW", "FullBroadcastCRW", "SilentProcess"]
 
@@ -39,6 +47,8 @@ class EagerCRW(CRWConsensus):
     receivers), so its message pattern matches the real algorithm and the
     only delta is the removed guard — a one-line ablation.
     """
+
+    __slots__ = ()
 
     def compute_phase(self, round_no: int, inbox: RoundInbox) -> None:
         if round_no == self.pid:
@@ -57,6 +67,8 @@ class TruncatedCRW(CRWConsensus):
     Theorem 3 says no correct such algorithm exists for ``k <= t``; the
     explorer demonstrates it on this one.
     """
+
+    __slots__ = ("k",)
 
     def __init__(self, pid: int, n: int, proposal: Any, k: int) -> None:
         super().__init__(pid, n, proposal)
@@ -100,6 +112,8 @@ class IncreasingCommitCRW(CRWConsensus):
     early-stopping bound breaks (uniform agreement is unaffected).
     """
 
+    __slots__ = ()
+
     def send_phase(self, round_no: int) -> SendPlan:
         plan = super().send_phase(round_no)
         if plan.control:
@@ -118,6 +132,8 @@ class FullBroadcastCRW(CRWConsensus):
     id-ordering argument saves.
     """
 
+    __slots__ = ()
+
     def send_phase(self, round_no: int) -> SendPlan:
         plan = super().send_phase(round_no)
         if round_no != self.pid:
@@ -135,6 +151,8 @@ class FullBroadcastCRW(CRWConsensus):
 class SilentProcess(SyncProcess):
     """Proposes a value, never communicates, never decides."""
 
+    __slots__ = ("proposal",)
+
     def __init__(self, pid: int, n: int, proposal: Any) -> None:
         super().__init__(pid, n)
         self.proposal = proposal
@@ -144,3 +162,141 @@ class SilentProcess(SyncProcess):
 
     def compute_phase(self, round_no: int, inbox: RoundInbox) -> None:
         return None
+
+
+# ---------------------------------------------------------------------------
+# Columnar tables (batched stepping).  Each mirrors its per-process class
+# hook for hook; the batched parity grid pins the equivalence.
+# ---------------------------------------------------------------------------
+
+
+@register_batched_table(EagerCRW)
+class _EagerCRWTable(CRWTable):
+    """CRW table minus the line-8 COMMIT guard."""
+
+    __slots__ = ()
+
+    def compute_phase_all(
+        self, round_no: int, inboxes: Mapping[int, RoundInbox]
+    ) -> dict[int, Any]:
+        est = self.est
+        decisions: dict[int, Any] = {}
+        for pid, inbox in inboxes.items():
+            if inbox is EMPTY_INBOX:
+                if pid == round_no:
+                    decisions[pid] = est[pid]
+            elif pid == round_no:
+                decisions[pid] = est[pid]
+            elif round_no in inbox.data:
+                est[pid] = inbox.data[round_no]
+                decisions[pid] = est[pid]  # eager: no COMMIT check
+        return decisions
+
+
+@register_batched_table(IncreasingCommitCRW)
+class _IncreasingCommitCRWTable(CRWTable):
+    """CRW table with the COMMIT sequence ascending instead of descending."""
+
+    __slots__ = ()
+
+    def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
+        plans = super().send_phase_all(round_no, active)
+        plan = plans.get(round_no)
+        if plan is not None and plan.control:
+            plans[round_no] = SendPlan(
+                data=plan.data, control=tuple(sorted(plan.control))
+            )
+        return plans
+
+
+@register_batched_table(FullBroadcastCRW)
+class _FullBroadcastCRWTable(CRWTable):
+    """CRW table with DATA and COMMIT addressed to every other process."""
+
+    __slots__ = ()
+
+    def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
+        plans = super().send_phase_all(round_no, active)
+        if round_no in plans:
+            others = [j for j in range(1, self.n + 1) if j != round_no]
+            plans[round_no] = SendPlan(
+                data=dict.fromkeys(others, self.est[round_no]),
+                control=tuple(sorted(others, reverse=True)),
+            )
+        return plans
+
+
+@register_batched_table(TruncatedCRW)
+class _TruncatedCRWTable(BatchedAlgorithm):
+    """Columnar TruncatedCRW: ``est`` plus the per-process deadline ``k``."""
+
+    __slots__ = ("n", "est", "k")
+
+    def __init__(self, n: int, est: list[Any], k: list[int]) -> None:
+        self.n = n
+        self.est = est
+        self.k = k
+
+    @classmethod
+    def from_processes(cls, processes: Sequence[SyncProcess]) -> "_TruncatedCRWTable":
+        n = processes[0].n
+        est: list[Any] = [None] * (n + 1)
+        k: list[int] = [0] * (n + 1)
+        for p in processes:
+            est[p.pid] = p.est
+            k[p.pid] = p.k
+        return cls(n, est, k)
+
+    def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
+        # No 'cannot happen' guard: truncation lets processes outlive their
+        # own coordinator round (they just stay silent there).
+        plans = dict.fromkeys(active, NO_SEND)
+        if round_no in plans:
+            plans[round_no] = SendPlan(
+                data=dict.fromkeys(
+                    range(round_no + 1, self.n + 1), self.est[round_no]
+                ),
+                control=tuple(range(self.n, round_no, -1)),
+            )
+        return plans
+
+    def compute_phase_all(
+        self, round_no: int, inboxes: Mapping[int, RoundInbox]
+    ) -> dict[int, Any]:
+        est = self.est
+        k = self.k
+        decisions: dict[int, Any] = {}
+        for pid, inbox in inboxes.items():
+            if inbox is EMPTY_INBOX:
+                # Nothing received: the coordinator still decides, and the
+                # deadline still fires for everyone at round >= k.
+                if pid == round_no or round_no >= k[pid]:
+                    decisions[pid] = est[pid]
+                continue
+            if pid == round_no:
+                decisions[pid] = est[pid]
+                continue
+            if round_no in inbox.data:
+                est[pid] = inbox.data[round_no]
+            if round_no in inbox.control or round_no >= k[pid]:
+                decisions[pid] = est[pid]
+        return decisions
+
+
+@register_batched_table(SilentProcess)
+class _SilentTable(BatchedAlgorithm):
+    """Silent processes: all-NO_SEND plans, no decisions, no state."""
+
+    __slots__ = ()
+
+    @classmethod
+    def from_processes(cls, processes: Sequence[SyncProcess]) -> "_SilentTable":
+        return cls()
+
+    def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
+        return dict.fromkeys(active, NO_SEND)
+
+    def compute_phase_all(
+        self, round_no: int, inboxes: Mapping[int, RoundInbox]
+    ) -> dict[int, Any]:
+        return {}

@@ -95,6 +95,8 @@ class FastFDConsensus:
         self.decision: Any = None
         self.decision_time = 0.0
         self.took_over = False
+        self._fired_version = -1  # detector version the cache was built at
+        self._fired: list[int] = []
 
     # -- takeover grid ---------------------------------------------------------
 
@@ -144,20 +146,38 @@ class FastFDConsensus:
     def fired_slots(self) -> list[int]:
         """Slots whose takeover condition held, per my (timestamped) FD.
 
-        Slot ``i`` fired iff every ``j < i`` crashed strictly before
+        Slot ``i`` fired iff every ``j < i`` crashed at or before
         ``(i-1)·d`` *and* ``p_i`` itself was alive then.  Complete and
         identical at every process once the detector settles (time
         ``n·d + d``), which precedes every decision deadline.
+
+        One ascending pass suffices: the condition over the predecessors
+        of ``i`` is "the latest predecessor crash is at or before slot
+        ``i``", so a running prefix-maximum replaces the quadratic
+        pairwise scan — and the first never-reported predecessor ends the
+        walk (no later slot can fire past it).  The result is cached
+        against the detector view's version: this runs on every message
+        receipt, while reports arrive at most ``n`` times.  Treat the
+        returned list as read-only.
         """
-        d = self.env.spec.d
         view = self.env.detectors[self.pid]
+        if view.version == self._fired_version:
+            return self._fired
+        d = self.env.spec.d
+        get_report = view.reports.get
         fired = []
+        latest = 0.0  # latest crash among slots < i (crash times are >= 0)
         for i in range(1, self.n + 1):
             slot_time = (i - 1) * d
-            if view.crashed_by(i, slot_time):
-                continue  # p_i was already dead at its own slot
-            if all(view.crashed_by(j, slot_time) for j in range(1, i)):
+            my_crash = get_report(i)
+            if latest <= slot_time and (my_crash is None or my_crash > slot_time):
                 fired.append(i)
+            if my_crash is None:
+                break  # p_i never reported crashed: no later slot can fire
+            if my_crash > latest:
+                latest = my_crash
+        self._fired_version = view.version
+        self._fired = fired
         return fired
 
     def highest_fired(self) -> int:
@@ -229,19 +249,22 @@ def run_ffd_consensus(
         )
 
     # Decision deadlines: schedule conservatively for every possible L; the
-    # handlers re-check the *actual* L so early timers are harmless.
-    for pid, proc in procs.items():
-        for L in range(1, spec.n + 1):
-            env.queue.schedule_at(
-                proc.fast_deadline(L),
-                lambda p=proc: p.on_deadline("fast"),
-                label=f"fast deadline p{pid}",
-            )
-            env.queue.schedule_at(
-                proc.fast_deadline(L) + spec.D,
-                lambda p=proc: p.on_deadline("fallback"),
-                label=f"fallback deadline p{pid}",
-            )
+    # handlers re-check the *actual* L so early timers are harmless.  The
+    # deadline instants depend only on L, so one timer per (L, kind) walks
+    # every process in pid order — the same handler order the old
+    # per-process timers produced — instead of 2·n² separate events.
+    proc_list = [procs[pid] for pid in sorted(procs)]
+
+    def fire_deadlines(kind: str) -> None:
+        for proc in proc_list:
+            proc.on_deadline(kind)
+
+    any_proc = proc_list[0]
+    for L in range(1, spec.n + 1):
+        env.queue.schedule_at(any_proc.fast_deadline(L), fire_deadlines, "fast")
+        env.queue.schedule_at(
+            any_proc.fast_deadline(L) + spec.D, fire_deadlines, "fallback"
+        )
 
     def settled() -> bool:
         return all(p.decided or env.is_crashed(p.pid) for p in procs.values())

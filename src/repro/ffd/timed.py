@@ -80,12 +80,20 @@ class TimedCrash:
 
 class FastDetectorView:
     """One observer's view of the fast detector: crash reports with true
-    crash timestamps, visible ``<= d`` after the crash."""
+    crash timestamps, visible ``<= d`` after the crash.
+
+    ``version`` increments on every new report, so derived read-only
+    views (the consensus layer's fired-slot reconstruction) can be cached
+    and invalidated without re-scanning the report map.
+    """
+
+    __slots__ = ("observer", "_env", "reports", "version")
 
     def __init__(self, observer: int, env: "TimedEnvironment") -> None:
         self.observer = observer
         self._env = env
         self.reports: dict[int, float] = {}  # pid -> true crash time
+        self.version = 0
 
     def crashed_by(self, pid: int, time: float) -> bool:
         """Did ``pid`` crash at or before ``time`` (per current reports)?"""
@@ -123,6 +131,18 @@ class TimedEnvironment:
         }
         self._on_deliver: Callable[[Message], None] | None = None
         self._on_fd: Callable[[int], None] | None = None
+        # Preresolved timing bounds and frozen pid tables: the per-message
+        # and per-crash paths below draw on these instead of rebuilding
+        # ranges and recomputing products per step.
+        self._delay_lo = spec.delta_min * spec.D
+        self._delay_hi = spec.D
+        self._fd_latency_lo = 0.1 * spec.d
+        self._fd_latency_hi = spec.d
+        self._all_pids: tuple[int, ...] = tuple(range(1, spec.n + 1))
+        self._others: dict[int, tuple[int, ...]] = {
+            pid: tuple(j for j in self._all_pids if j != pid)
+            for pid in self._all_pids
+        }
 
     # -- wiring ---------------------------------------------------------------
 
@@ -136,11 +156,7 @@ class TimedEnvironment:
         self._on_fd = on_fd
         for crash in self._crash_plan.values():
             if crash.takeover_subset is None:
-                self.queue.schedule_at(
-                    crash.time,
-                    lambda p=crash.pid: self._crash_now(p),
-                    label=f"crash p{crash.pid}",
-                )
+                self.queue.schedule_at(crash.time, self._crash_now, crash.pid)
             # takeover-subset crashes fire inside broadcast_takeover()
 
     # -- crash machinery --------------------------------------------------------
@@ -150,22 +166,20 @@ class TimedEnvironment:
             return
         now = self.queue.now
         self.crashed[pid] = now
-        for observer in range(1, self.spec.n + 1):
-            if observer == pid:
-                continue
-            latency = self.rng.uniform(0.1 * self.spec.d, self.spec.d)
-            self.queue.schedule(
-                latency,
-                lambda o=observer, p=pid, t=now: self._report(o, p, t),
-                label=f"ffd report p{pid} at p{observer}",
-            )
+        schedule = self.queue.schedule
+        uniform = self.rng.uniform
+        lo, hi = self._fd_latency_lo, self._fd_latency_hi
+        for observer in self._others[pid]:
+            schedule(uniform(lo, hi), self._report, (observer, pid, now))
 
-    def _report(self, observer: int, pid: int, crash_time: float) -> None:
+    def _report(self, entry: tuple[int, int, float]) -> None:
+        observer, pid, crash_time = entry
         if observer in self.crashed:
             return
         view = self.detectors[observer]
         if pid not in view.reports:
             view.reports[pid] = crash_time
+            view.version += 1
             assert self._on_fd is not None
             self._on_fd(observer)
 
@@ -183,21 +197,23 @@ class TimedEnvironment:
     # -- message transport ---------------------------------------------------------
 
     def _delay(self) -> float:
-        return self.rng.uniform(self.spec.delta_min * self.spec.D, self.spec.D)
+        return self.rng.uniform(self._delay_lo, self._delay_hi)
+
+    def _deliver_msg(self, entry: tuple[Message, int]) -> None:
+        """Shared delivery action (crash check precedes the delivery charge)."""
+        msg, bits = entry
+        if msg.dest in self.crashed:
+            return
+        self.stats.bulk_async(1, bits, delivered=True)
+        assert self._on_deliver is not None
+        self._on_deliver(msg)
 
     def unicast(self, sender: int, dest: int, tag: str, payload: Any) -> None:
         """Send one message with a model-drawn delay."""
         msg = Message(MessageKind.ASYNC, sender, dest, 0, payload=payload, tag=tag)
-        self.stats.on_send(msg)
-
-        def deliver() -> None:
-            if msg.dest in self.crashed:
-                return
-            self.stats.on_deliver(msg)
-            assert self._on_deliver is not None
-            self._on_deliver(msg)
-
-        self.queue.schedule(self._delay(), deliver, label=f"{tag} {sender}->{dest}")
+        bits = msg.bits()
+        self.stats.bulk_async(1, bits)
+        self.queue.schedule(self._delay(), self._deliver_msg, (msg, bits))
 
     def broadcast_takeover(self, pid: int, tag: str, payload: Any) -> bool:
         """Takeover broadcast with message-granular crash semantics.
@@ -207,7 +223,7 @@ class TimedEnvironment:
         and crashes the sender at the current instant.
         """
         subset = self.takeover_crash_plan(pid)
-        dests = [j for j in range(1, self.spec.n + 1) if j != pid]
+        dests = self._others[pid]
         if subset is None:
             for dest in dests:
                 self.unicast(pid, dest, tag, payload)

@@ -1,0 +1,273 @@
+"""Performance-gate kernels: measured, normalized, regression-checked.
+
+This module is the engine behind both entry points:
+
+* ``repro-consensus bench`` (the CLI subcommand), and
+* ``python benchmarks/bench_perf_gate.py`` (the checkout-level script CI
+  runs) — a thin wrapper importing everything from here.
+
+Usage pattern:
+
+* ``bench --write-baseline BENCH_PR3.json`` measures the kernels and
+  writes a machine-readable baseline;
+* ``bench --check-against BENCH_PR3.json`` compares fresh measurements
+  to a previously written baseline and exits non-zero when any kernel
+  regressed beyond ``--tolerance`` (default 1.25 = +25%).
+
+Raw wall-clock is not comparable across machines, so every kernel is
+*normalized* by a pure-Python calibration loop timed in the same process:
+``score = kernel_seconds / calibration_seconds``.  Scores measure "how
+many calibration units does this kernel cost", which tracks algorithmic
+regressions while cancelling out most host-speed differences — that is
+what the gate compares.  Raw seconds are recorded alongside for humans.
+
+Kernels (via the scenario layer):
+
+* ``one_round_n64``   — crw n=64, failure-free: one dense broadcast round;
+* ``cascade_n128``    — crw n=128, f=16 coordinator-killer: 17 sparse
+  rounds, the per-(process, round) overhead kernel;
+* ``async_mr99_n32``  — MR99 n=32, f=8 ◇S run: the event-queue /
+  delivery-scheduling kernel (PR 3's tuple-heap fast path);
+* ``ffd_n16``         — fast-failure-detector n=16, f=4: the timed-model
+  kernel (fired-slot reconstruction + takeover grid);
+* ``sweep_*``         — ~1k-cell grid over the process-pool executor with
+  JSONL persistence (``--quick`` shrinks it for CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+import warnings
+from typing import Callable
+
+__all__ = ["measure", "compare", "main", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+def _calibrate(target_seconds: float = 0.05) -> float:
+    """Seconds per calibration unit: a fixed pure-Python workload.
+
+    The workload (integer arithmetic + list building) deliberately mirrors
+    the interpreter operations the engine hot path is made of, so the
+    kernel/calibration ratio is stable across CPython versions and hosts.
+    """
+
+    def unit() -> int:
+        acc = 0
+        xs = list(range(500))
+        for i in xs:
+            acc += i * i % 7
+        return acc
+
+    # Warm up, then time enough repetitions to fill ~target_seconds.
+    unit()
+    reps = 1
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            unit()
+        dt = time.perf_counter() - t0
+        if dt >= target_seconds:
+            return dt / reps
+        reps *= 4
+
+
+def _best_of(fn: Callable[[], object], repeats: int, min_seconds: float) -> float:
+    """Best wall-clock of ``repeats`` runs (at least ``min_seconds`` total)."""
+    fn()  # warm-up: imports, registries, bit-size cache
+    best = float("inf")
+    spent = 0.0
+    runs = 0
+    while runs < repeats or spent < min_seconds:
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+        spent += dt
+        runs += 1
+        if runs >= repeats * 10:  # safety valve for very slow hosts
+            break
+    return best
+
+
+def _kernel_one_round_n64() -> None:
+    from repro.scenarios import Scenario, execute
+
+    record = execute(Scenario(algorithm="crw", n=64, t=63, f=0, adversary="none", seed=0))
+    assert record.rounds_executed == 1
+
+
+def _kernel_cascade_n128() -> None:
+    from repro.scenarios import Scenario, execute
+
+    record = execute(Scenario(algorithm="crw", n=128, t=127, f=16,
+                              adversary="coordinator-killer", seed=0))
+    assert record.last_decision_round == 17
+
+
+def _kernel_async_mr99_n32() -> None:
+    from repro.scenarios import Scenario, execute
+
+    record = execute(Scenario(algorithm="mr99", n=32, f=8,
+                              adversary="coordinator-killer", seed=0))
+    assert record.spec_ok and record.f_actual == 8
+
+
+def _kernel_ffd_n16() -> None:
+    from repro.scenarios import Scenario, execute
+
+    record = execute(Scenario(algorithm="ffd", n=16, f=4,
+                              adversary="coordinator-killer", seed=0))
+    assert record.spec_ok and record.f_actual == 4
+
+
+def _sweep_cells(quick: bool):
+    from repro.scenarios import expand_grid
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        if quick:  # ~100 cells: CI smoke
+            return expand_grid(["crw", "early-stopping"], [8],
+                               adversaries=("coordinator-killer",), seeds=7)
+        return expand_grid(["crw", "early-stopping"], [16, 24, 32],
+                           adversaries=("coordinator-killer", "staggered"), seeds=4)
+
+
+def _kernel_sweep(quick: bool, executor: str) -> None:
+    from repro.scenarios import SweepRunner
+
+    cells = _sweep_cells(quick)
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = SweepRunner(
+            cells,
+            executor=executor,
+            jsonl_path=os.path.join(tmp, "sweep.jsonl"),
+        )
+        records = runner.run()
+        assert len(records) == len(cells) and runner.executed == len(cells)
+
+
+def measure(quick: bool) -> dict:
+    """Measure all kernels; returns the baseline document.
+
+    A full run also measures the ``--quick`` sweep grid so a committed
+    full baseline contains the kernel CI's quick run needs to match.
+    """
+    calibration = _calibrate()
+    quick_cells = len(_sweep_cells(True))
+    kernels = {
+        "one_round_n64": _best_of(_kernel_one_round_n64, repeats=10, min_seconds=0.3),
+        "cascade_n128": _best_of(_kernel_cascade_n128, repeats=10, min_seconds=0.5),
+        "async_mr99_n32": _best_of(_kernel_async_mr99_n32, repeats=5, min_seconds=0.5),
+        "ffd_n16": _best_of(_kernel_ffd_n16, repeats=10, min_seconds=0.3),
+        # The serial sweep is core-count independent, so it gates across
+        # hosts; the pool sweep's score scales with parallelism and is
+        # gated only on a matching cpu_count (see compare()).
+        f"sweep_serial_{quick_cells}c": _best_of(
+            lambda: _kernel_sweep(True, "serial"), repeats=3, min_seconds=0.5
+        ),
+        f"sweep_pool_{quick_cells}c": _best_of(
+            lambda: _kernel_sweep(True, "process"), repeats=3, min_seconds=0.5
+        ),
+    }
+    if not quick:
+        kernels[f"sweep_pool_{len(_sweep_cells(False))}c"] = _best_of(
+            lambda: _kernel_sweep(False, "process"), repeats=2, min_seconds=1.0
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "calibration_unit_s": calibration,
+        "kernels": {
+            name: {"seconds": secs, "score": secs / calibration}
+            for name, secs in kernels.items()
+        },
+    }
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regressions of ``current`` vs ``baseline`` (empty = gate passes).
+
+    Kernels are matched by name on their normalized score; kernels present
+    on only one side are reported informationally but do not fail the
+    gate (grid sizes legitimately differ between --quick and full runs).
+    ``sweep_pool_*`` kernels additionally gate only when both sides ran on
+    the same core count — a pool sweep's score scales with parallelism,
+    which calibration cannot cancel out.
+    """
+    failures: list[str] = []
+    base_kernels = baseline.get("kernels", {})
+    same_host_shape = current.get("cpu_count") == baseline.get("cpu_count")
+    for name, entry in current["kernels"].items():
+        base = base_kernels.get(name)
+        if base is None:
+            print(f"  [new] {name}: score {entry['score']:.1f} (no baseline)")
+            continue
+        if name.startswith("sweep_pool_") and not same_host_shape:
+            print(
+                f"  [info] {name}: score {entry['score']:.1f} vs baseline "
+                f"{base['score']:.1f} (not gated: cpu_count "
+                f"{current.get('cpu_count')} != {baseline.get('cpu_count')})"
+            )
+            continue
+        ratio = entry["score"] / base["score"] if base["score"] > 0 else float("inf")
+        verdict = "ok" if ratio <= tolerance else "REGRESSION"
+        print(
+            f"  [{verdict}] {name}: score {entry['score']:.1f} "
+            f"vs baseline {base['score']:.1f} (x{ratio:.2f}, limit x{tolerance:.2f})"
+        )
+        if ratio > tolerance:
+            failures.append(
+                f"{name}: normalized score {entry['score']:.1f} is "
+                f"{ratio:.2f}x the baseline {base['score']:.1f} "
+                f"(tolerance {tolerance:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-consensus bench",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep grid (CI smoke)")
+    parser.add_argument("--write-baseline", "--out", dest="out", default=None,
+                        metavar="PATH",
+                        help="write measurements to this JSON baseline file")
+    parser.add_argument("--check-against", default=None, metavar="BASELINE",
+                        help="fail on regression vs this baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=1.25,
+                        help="max allowed score ratio vs baseline (default 1.25)")
+    args = parser.parse_args(argv)
+
+    print("measuring perf-gate kernels" + (" (--quick grid)" if args.quick else ""))
+    doc = measure(args.quick)
+    print(f"calibration unit: {doc['calibration_unit_s'] * 1e6:.1f} us")
+    for name, entry in doc["kernels"].items():
+        print(f"  {name}: {entry['seconds'] * 1e3:.3f} ms  score {entry['score']:.1f}")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.check_against:
+        with open(args.check_against, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        print(f"checking against {args.check_against}")
+        failures = compare(doc, baseline, args.tolerance)
+        if failures:
+            print("PERF GATE FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print("perf gate passed")
+    return 0

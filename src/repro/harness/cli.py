@@ -5,6 +5,8 @@ Subcommands
 ``run``             one consensus run (legacy flags), printing outcome and stats
 ``scenario run``    one declarative scenario (any registered algorithm/backend)
 ``scenario sweep``  a scenario grid: serial or process-pool, JSONL persistence/resume
+``bench``           perf-gate kernels: measure / ``--check-against`` /
+                    ``--write-baseline`` (wraps ``benchmarks/bench_perf_gate.py``)
 ``experiment``      regenerate one of the paper's experiments (e1..e8)
 ``list``            algorithms, adversaries, workloads, experiments
 ``explore``         exhaustive adversary search on a small system
@@ -237,6 +239,20 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
     return 0 if all(r.spec_ok for r in records) else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import main as bench_main
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.write_baseline is not None:
+        argv += ["--write-baseline", args.write_baseline]
+    if args.check_against is not None:
+        argv += ["--check-against", args.check_against]
+    argv += ["--tolerance", str(args.tolerance)]
+    return bench_main(argv)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.harness.experiments import ALL_EXPERIMENTS
     from repro.harness.report import render_experiment_markdown
@@ -348,6 +364,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--jsonl", default=None, help="JSONL persistence/resume file")
     p_sw.add_argument("--json", action="store_true", help="machine-readable output")
     p_sw.set_defaults(func=_cmd_scenario_sweep)
+
+    p_b = sub.add_parser(
+        "bench",
+        help="measure the perf-gate kernels; optionally write or check a baseline",
+    )
+    p_b.add_argument("--quick", action="store_true", help="small sweep grid (CI smoke)")
+    p_b.add_argument("--write-baseline", default=None, metavar="PATH",
+                     help="write measurements to this JSON baseline file")
+    p_b.add_argument("--check-against", default=None, metavar="BASELINE",
+                     help="exit non-zero on regression vs this baseline JSON")
+    p_b.add_argument("--tolerance", type=float, default=1.25,
+                     help="max allowed score ratio vs baseline (default 1.25)")
+    p_b.set_defaults(func=_cmd_bench)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     p_exp.add_argument("name", help="e1..e8")

@@ -41,6 +41,20 @@ from repro.sync.engine import execute_round
 from repro.sync.result import ProcessOutcome, RunResult
 from repro.util.trace import Trace
 
+
+def _instance_state(obj: Any) -> dict[str, Any]:
+    """All instance attributes of ``obj``, whether dict- or slot-stored.
+
+    Process classes may declare ``__slots__`` (the engines' fast path);
+    the dedupe fingerprint must see their state either way.
+    """
+    state = dict(getattr(obj, "__dict__", None) or {})
+    for cls in type(obj).__mro__:
+        for name in getattr(cls, "__slots__", ()):
+            if name not in state and hasattr(obj, name):
+                state[name] = getattr(obj, name)
+    return state
+
 __all__ = ["ExplorationConfig", "LeafOutcome", "ExplorationReport", "Explorer"]
 
 
@@ -242,7 +256,7 @@ class Explorer:
         used.  Decisions are part of the key because leaves report them.
         """
         procs_state = tuple(
-            (pid, repr(sorted(node.procs[pid].__dict__.items())))
+            (pid, repr(sorted(_instance_state(node.procs[pid]).items())))
             for pid in sorted(node.procs)
         )
         return (

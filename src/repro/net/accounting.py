@@ -99,6 +99,21 @@ class MessageStats:
         self.bits_sent += sent
         self.bits_delivered += delivered
 
+    def bulk_async(self, count: int, bits: int, *, delivered: bool = False) -> None:
+        """Charge ``count`` ASYNC messages totalling ``bits`` in one call.
+
+        Mirrors :meth:`bulk_data`: the asynchronous network sizes a
+        payload once per send (or once per broadcast fan-out) and charges
+        here instead of routing every message through :meth:`on_send` /
+        :meth:`on_deliver`'s kind dispatch.
+        """
+        if delivered:
+            self.async_delivered += count
+            self.bits_delivered += bits
+        else:
+            self.async_sent += count
+            self.bits_sent += bits
+
     # -- derived ----------------------------------------------------------
 
     @property

@@ -33,9 +33,15 @@ class MessageKind(enum.Enum):
     MARKER = "marker"  # Chandy-Lamport snapshot marker (also a pure signal)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Message:
     """An immutable message.
+
+    Treat instances as immutable — one object may be shared between the
+    network, the trace, and a receiver.  Not ``frozen``: the asynchronous
+    simulator builds one per message on its hot path and a frozen
+    dataclass pays ``object.__setattr__`` per field on every construction
+    (``unsafe_hash`` keeps the by-value hashing frozen used to provide).
 
     Attributes
     ----------

@@ -109,8 +109,16 @@ def _timed_crashes(scenario: Scenario, n: int, t: int, rng: RandomSource):
     return adv.make_timed(n, t, scenario.f, rng)
 
 
-def execute(scenario: Scenario, *, trace: bool = False) -> RunRecord:
-    """Run one scenario on its backend and return the normalized record."""
+def execute(
+    scenario: Scenario, *, trace: bool = False, batched: bool | None = None
+) -> RunRecord:
+    """Run one scenario on its backend and return the normalized record.
+
+    ``batched`` is forwarded to the synchronous engines (None = auto:
+    step through the algorithm's columnar table when it registered one;
+    ``False`` forces per-process stepping — the batched parity grid
+    compares the two).  Continuous-time backends ignore it.
+    """
     algo = ALGORITHMS.get(scenario.algorithm)
     if scenario.model is not None and scenario.model != algo.backend:
         raise ConfigurationError(
@@ -132,7 +140,7 @@ def execute(scenario: Scenario, *, trace: bool = False) -> RunRecord:
         )
 
     if algo.backend in ("extended", "classic"):
-        return _execute_sync(scenario, algo, n, t, proposals, rng, trace)
+        return _execute_sync(scenario, algo, n, t, proposals, rng, trace, batched)
     if algo.backend == "async":
         return _execute_async(scenario, algo, n, t, proposals, rng)
     if algo.backend == "ffd":
@@ -153,6 +161,7 @@ def _execute_sync(
     proposals: list[Any],
     rng: RandomSource,
     trace: bool,
+    batched: bool | None = None,
 ) -> RunRecord:
     from repro.sync.engine import ClassicSynchronousEngine
     from repro.sync.extended import ExtendedSynchronousEngine
@@ -171,28 +180,22 @@ def _execute_sync(
     engine_cls = (
         ExtendedSynchronousEngine if algo.backend == "extended" else ClassicSynchronousEngine
     )
-    engine = engine_cls(procs, schedule, t=t, rng=rng.spawn("engine"), trace=trace)
+    engine = engine_cls(
+        procs, schedule, t=t, rng=rng.spawn("engine"), trace=trace, batched=batched
+    )
     result = engine.run(scenario.max_rounds)
 
     if algo.spec is not None:
         violations = tuple(algo.spec(result))
     else:
         violations = check_consensus(result).violations
-    # One pass over the outcomes; the RunResult derived-view properties
-    # would each re-iterate all n of them.
-    decisions: dict[int, Any] = {}
-    decision_rounds: dict[int, int] = {}
-    crashed: list[int] = []
-    last_decision_round = 0
-    for pid, outcome in result.outcomes.items():
-        if outcome.decided:
-            decisions[pid] = outcome.decision
-            decision_rounds[pid] = outcome.decided_round
-            if outcome.decided_round > last_decision_round:
-                last_decision_round = outcome.decided_round
-        if outcome.crashed:
-            crashed.append(pid)
-    crashed.sort()
+    # Straight off the engine's ledgers (identical to the per-outcome
+    # derivation but with C-level dict copies instead of an n-wide
+    # attribute-reading loop).
+    decisions = engine.decisions
+    decision_rounds = engine.decision_rounds
+    crashed = sorted(engine.crashed_rounds)
+    last_decision_round = max(decision_rounds.values(), default=0)
     return RunRecord(
         scenario=scenario,
         backend=algo.backend,

@@ -23,14 +23,24 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from types import MappingProxyType
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError, ModelViolationError
 
-__all__ = ["SendPlan", "RoundInbox", "SyncProcess", "NO_SEND"]
+__all__ = [
+    "SendPlan",
+    "RoundInbox",
+    "SyncProcess",
+    "NO_SEND",
+    "EMPTY_INBOX",
+    "BatchedAlgorithm",
+    "register_batched_table",
+    "batched_table_for",
+]
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class SendPlan:
     """What one process intends to send in one round.
 
@@ -44,6 +54,12 @@ class SendPlan:
         matters: on a crash during this step, an *ordered prefix* is
         delivered.  At most one control message per channel per round, so
         destinations must be distinct.
+
+    Treat instances as immutable — :data:`NO_SEND` in particular is one
+    shared object.  Not ``frozen``: flooding algorithms build ``n`` plans
+    per round and a frozen dataclass pays ``object.__setattr__`` per
+    field on every construction (same trade as
+    :class:`~repro.sync.result.ProcessOutcome`).
     """
 
     data: Mapping[int, Any] = field(default_factory=dict)
@@ -102,7 +118,7 @@ class SendPlan:
 NO_SEND = SendPlan()
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class RoundInbox:
     """Everything delivered to one process in one round.
 
@@ -112,6 +128,12 @@ class RoundInbox:
         sender id → payload, for data messages received this round.
     control:
         ids of processes whose control (synchronization) message arrived.
+
+    Treat instances as immutable.  The class is not ``frozen`` because a
+    frozen dataclass pays an ``object.__setattr__`` per field on every
+    construction and engines build one inbox per hearing receiver per
+    round on the benchmark hot path (same trade as
+    :class:`~repro.sync.result.ProcessOutcome`).
     """
 
     data: Mapping[int, Any] = field(default_factory=dict)
@@ -123,13 +145,29 @@ class RoundInbox:
         return not self.data and not self.control
 
 
+#: Shared inbox for receivers that heard nothing this round: frozensets are
+#: immutable and the data view is a read-only mapping proxy, so every such
+#: receiver can hold the same object without aliasing risk.  Batched tables
+#: identity-test against it to skip no-op receivers without touching the
+#: inbox's attributes.
+EMPTY_INBOX = RoundInbox(data=MappingProxyType({}), control=frozenset())
+
+
 class SyncProcess(abc.ABC):
     """Base class for processes of the (classic or extended) round model.
 
     Subclasses implement :meth:`send_phase` and :meth:`compute_phase`.
     State must live in instance attributes so runs can be snapshotted by
     the lower-bound explorer via ``copy.deepcopy``.
+
+    The base class declares ``__slots__`` (engines construct ``n``
+    processes per run; slotted attribute writes are measurably cheaper on
+    n=128 grids).  Subclasses may declare their own slots for the same
+    benefit or omit ``__slots__`` entirely — they then simply get a
+    ``__dict__`` as usual.
     """
+
+    __slots__ = ("pid", "n", "_decision", "_decided", "_decision_round")
 
     def __init__(self, pid: int, n: int) -> None:
         if not 1 <= pid <= n:
@@ -178,3 +216,99 @@ class SyncProcess(abc.ABC):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = f"decided={self._decision!r}" if self._decided else "running"
         return f"{type(self).__name__}(pid={self.pid}, n={self.n}, {state})"
+
+
+# ---------------------------------------------------------------------------
+# Batched stepping: whole-table hooks over columnar process state.
+# ---------------------------------------------------------------------------
+
+
+class BatchedAlgorithm(abc.ABC):
+    """Columnar drop-in for a whole table of same-typed processes.
+
+    Engines normally drive one :class:`SyncProcess` at a time — two method
+    calls per (process, round).  An algorithm can additionally ship a
+    *batched table*: one object holding every process's state in parallel
+    lists, stepped with two calls per **round**.  The engine detects the
+    capability (see :func:`batched_table_for`) and runs the whole round
+    through it; everything downstream of the hooks — crash resolution,
+    delivery, accounting, tracing — is shared with per-process stepping,
+    so the two modes are observably identical
+    (``tests/sync/test_batched_parity.py`` pins this).
+
+    Contract (parity with per-process stepping depends on all three):
+
+    * :meth:`send_phase_all` returns a plan for **every** pid in
+      ``active``, in ``active`` order (``dict.fromkeys(active, NO_SEND)``
+      gives both for the common mostly-silent round), and must behave
+      exactly like calling ``send_phase`` on each process in that order —
+      including raising the same model violations;
+    * :meth:`compute_phase_all` consumes the engine-built inboxes (one
+      per surviving receiver, in ascending pid order) and returns the
+      round's new decisions ``{pid: value}`` in the order they were made;
+    * the table is the *authoritative* copy of algorithm state while the
+      engine steps in batched mode; the engine mirrors decisions back to
+      the process objects, but other per-process attributes (estimates,
+      value sets) are not kept in sync mid-run.
+    """
+
+    @classmethod
+    @abc.abstractmethod
+    def from_processes(cls, processes: Sequence[SyncProcess]) -> "BatchedAlgorithm":
+        """Build the columnar table from freshly constructed processes."""
+
+    @abc.abstractmethod
+    def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
+        """Plans for every active pid (silent processes map to NO_SEND)."""
+
+    @abc.abstractmethod
+    def compute_phase_all(
+        self, round_no: int, inboxes: Mapping[int, RoundInbox]
+    ) -> dict[int, Any]:
+        """Consume the round's inboxes; return new decisions ``{pid: value}``."""
+
+
+#: Exact process type -> table factory.  Keyed by exact type (not
+#: ``isinstance``): a subclass overriding a hook must not silently inherit
+#: its parent's batched semantics — it opts in with its own table.
+_BATCHED_TABLES: dict[type, Callable[[Sequence[SyncProcess]], BatchedAlgorithm]] = {}
+
+
+def register_batched_table(
+    process_cls: type,
+) -> Callable[[type[BatchedAlgorithm]], type[BatchedAlgorithm]]:
+    """Class decorator: register a table implementation for ``process_cls``.
+
+    ::
+
+        @register_batched_table(CRWConsensus)
+        class CRWTable(BatchedAlgorithm): ...
+    """
+
+    def deco(table_cls: type[BatchedAlgorithm]) -> type[BatchedAlgorithm]:
+        if process_cls in _BATCHED_TABLES:
+            raise ConfigurationError(
+                f"{process_cls.__name__} already has a batched table"
+            )
+        _BATCHED_TABLES[process_cls] = table_cls.from_processes
+        return table_cls
+
+    return deco
+
+
+def batched_table_for(processes: Sequence[SyncProcess]) -> BatchedAlgorithm | None:
+    """The columnar table for ``processes``, or None when unavailable.
+
+    Requires a homogeneous table: every process of the exact registered
+    type.  Mixed tables (and wrappers like the cross-model simulations)
+    fall back to per-process stepping.
+    """
+    if not processes:
+        return None
+    cls = type(processes[0])
+    factory = _BATCHED_TABLES.get(cls)
+    if factory is None:
+        return None
+    if any(type(p) is not cls for p in processes):
+        return None
+    return factory(processes)

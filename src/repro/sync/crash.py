@@ -58,7 +58,7 @@ class Prefix(enum.Enum):
     RANDOM = "random"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class CrashEvent:
     """One scheduled crash.
 
@@ -66,6 +66,10 @@ class CrashEvent:
     the corresponding policies when not ``None``.  An explicit subset is
     intersected with the actually-planned destinations; an explicit prefix
     is clamped to the planned sequence length.
+
+    Treat instances as immutable (adversaries build one per crash per
+    run; not ``frozen`` for the same construction-cost reason as
+    :class:`~repro.sync.result.ProcessOutcome`).
     """
 
     pid: int
@@ -92,23 +96,31 @@ class CrashEvent:
         planned_control: tuple[int, ...],
         rng: RandomSource | None,
     ) -> "ResolvedCrash":
-        """Fix subset/prefix choices for this round's actual plan."""
-        planned = sorted(planned_data)
+        """Fix subset/prefix choices for this round's actual plan.
+
+        Only the RANDOM subset policy observes the *order* of
+        ``planned_data`` (its rng draws are made against the sorted ids,
+        keeping resolution independent of plan-dict ordering); every other
+        branch builds order-insensitive frozensets, so the sort is paid
+        only where a draw depends on it.
+        """
         if self.point is CrashPoint.BEFORE_SEND:
             subset: frozenset[int] = frozenset()
             prefix = 0
         elif self.point is CrashPoint.DURING_DATA:
-            subset = self._resolve_subset(planned, rng)
+            subset = self._resolve_subset(planned_data, rng)
             prefix = 0
         elif self.point is CrashPoint.DURING_CONTROL:
-            subset = frozenset(planned)
+            subset = frozenset(planned_data)
             prefix = self._resolve_prefix(len(planned_control), rng)
         else:  # AFTER_SEND
-            subset = frozenset(planned)
+            subset = frozenset(planned_data)
             prefix = len(planned_control)
         return ResolvedCrash(pid=self.pid, point=self.point, data_subset=subset, control_prefix=prefix)
 
-    def _resolve_subset(self, planned: list[int], rng: RandomSource | None) -> frozenset[int]:
+    def _resolve_subset(
+        self, planned: Iterable[int], rng: RandomSource | None
+    ) -> frozenset[int]:
         if self.data_subset is not None:
             return frozenset(self.data_subset) & frozenset(planned)
         if self.data_policy is Subset.NONE:
@@ -119,7 +131,7 @@ class CrashEvent:
             raise ConfigurationError(
                 "random data-subset policy needs an engine RandomSource"
             )
-        return frozenset(rng.subset(planned, 0.5))
+        return frozenset(rng.subset(sorted(planned), 0.5))
 
     def _resolve_prefix(self, planned_len: int, rng: RandomSource | None) -> int:
         if self.control_prefix is not None:
@@ -135,9 +147,12 @@ class CrashEvent:
         return rng.randint(0, planned_len)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class ResolvedCrash:
-    """A crash with its delivery choices pinned for the current round."""
+    """A crash with its delivery choices pinned for the current round.
+
+    Treat instances as immutable (engines build one per crash per round).
+    """
 
     pid: int
     point: CrashPoint

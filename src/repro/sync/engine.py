@@ -36,19 +36,39 @@ Two delivery paths implement identical semantics:
 
 The two paths produce identical :class:`RoundOutcome`/:class:`MessageStats`
 (pinned by ``tests/sync/test_fastpath_parity.py``).
+
+Orthogonally to the delivery path, the *hook* side of the round has two
+modes.  Per-process stepping calls ``send_phase``/``compute_phase`` on
+every process every round — two Python method dispatches per (process,
+round), which PR 2 left as ~60% of the cascade kernel.  When every
+process is of one type that registered a
+:class:`~repro.sync.api.BatchedAlgorithm` table, the engine instead
+builds the columnar table once and runs the whole round through
+``send_phase_all``/``compute_phase_all`` — two calls per **round**, with
+per-process state in parallel lists.  Crash resolution, delivery, and
+inbox construction are shared verbatim between the modes, and decisions
+are mirrored back onto the process objects, so batched and per-process
+runs are byte-identical (``tests/sync/test_batched_parity.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from types import MappingProxyType
 from typing import Any, Mapping
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.accounting import MessageStats
 from repro.net.message import Message, MessageKind
 from repro.net.payload import bit_size
-from repro.sync.api import NO_SEND, RoundInbox, SendPlan, SyncProcess
+from repro.sync.api import (
+    EMPTY_INBOX,
+    NO_SEND,
+    BatchedAlgorithm,
+    RoundInbox,
+    SendPlan,
+    SyncProcess,
+    batched_table_for,
+)
 from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule, ResolvedCrash
 from repro.sync.result import ProcessOutcome, RunResult
 from repro.util.rng import RandomSource
@@ -58,10 +78,11 @@ from repro.util.trace import Trace
 #: control-free round can hold the same object without aliasing risk.
 _NO_CONTROL: frozenset[int] = frozenset()
 
-#: Shared inbox for receivers that heard nothing this round.  The data view
-#: is a read-only mapping proxy, so accidental mutation by an algorithm
-#: raises instead of leaking between processes.
-_EMPTY_INBOX = RoundInbox(data=MappingProxyType({}), control=_NO_CONTROL)
+#: Shared inbox for receivers that heard nothing this round (canonically
+#: defined in :mod:`repro.sync.api` so batched tables can identity-test it).
+#: The data view is a read-only mapping proxy, so accidental mutation by an
+#: algorithm raises instead of leaking between processes.
+_EMPTY_INBOX = EMPTY_INBOX
 
 __all__ = [
     "RoundOutcome",
@@ -69,6 +90,10 @@ __all__ = [
     "SynchronousEngine",
     "ClassicSynchronousEngine",
 ]
+
+#: Shared empty crash map for rounds without scheduled crashes (avoids one
+#: dict allocation per step).  Never mutated.
+_NO_CRASHES: dict[int, CrashEvent] = {}
 
 
 @dataclass(slots=True)
@@ -95,6 +120,7 @@ def execute_round(
     n: int | None = None,
     pids: frozenset[int] | None = None,
     active_order: list[int] | None = None,
+    table: BatchedAlgorithm | None = None,
 ) -> RoundOutcome:
     """Execute one round over ``active`` processes; mutates process state.
 
@@ -108,6 +134,13 @@ def execute_round(
     engines stepping many rounds pass them so each round neither
     rediscovers the system size, re-materializes the valid destination
     set for plan validation, nor re-sorts the active set.
+
+    ``table`` switches the hook side of the round to batched stepping:
+    the whole round's plans come from one ``send_phase_all`` call and the
+    whole round's computation from one ``compute_phase_all`` call, with
+    new decisions mirrored back onto the process objects.  Crash
+    resolution, delivery, and inbox construction are identical in both
+    modes.
     """
     if n is None:
         n = next(iter(procs.values())).n if procs else 0
@@ -118,16 +151,29 @@ def execute_round(
     # (typically many) silent processes entirely.
     if active_order is None:
         active_order = sorted(active)
-    plans: dict[int, SendPlan] = {}
-    senders: list[int] = []
-    for pid in active_order:
-        plan = procs[pid].send_phase(round_no)
-        # NO_SEND is the canonical silent plan; the identity test skips the
-        # attribute loads for the (typically many) quiet processes.
-        if plan is not NO_SEND and (plan.data or plan.control):
-            plan.validate(pid, n, allow_control=allow_control, pids=pids)
-            senders.append(pid)
-        plans[pid] = plan
+    if table is not None:
+        plans = table.send_phase_all(round_no, active_order)
+        # One C-speed identity scan finds the (typically few) speakers.
+        # Table plans are NOT re-validated: a registered table mirrors its
+        # per-process class hook for hook (the parity grid runs the
+        # validated per-process path against it), so validation here would
+        # re-check first-party plans every round.
+        senders = [
+            pid
+            for pid, plan in plans.items()
+            if plan is not NO_SEND and (plan.data or plan.control)
+        ]
+    else:
+        senders = []
+        plans = {}
+        for pid in active_order:
+            plan = procs[pid].send_phase(round_no)
+            # NO_SEND is the canonical silent plan; the identity test skips
+            # the attribute loads for the (typically many) quiet processes.
+            if plan is not NO_SEND and (plan.data or plan.control):
+                plan.validate(pid, n, allow_control=allow_control, pids=pids)
+                senders.append(pid)
+            plans[pid] = plan
 
     # Phase 2: resolve this round's crashes against actual plans.
     resolved: dict[int, ResolvedCrash] = {}
@@ -150,10 +196,15 @@ def execute_round(
     # Crashed processes receive nothing this round.
     if resolved:
         crashing = set(resolved)
-        receivers = active - crashing
-        receiver_order = [pid for pid in active_order if pid not in crashing]
+        if len(crashing) == 1:
+            # One crash per round is the cascade shape: one C-level copy
+            # and removal instead of an n-wide membership listcomp.
+            receiver_order = active_order.copy()
+            receiver_order.remove(next(iter(crashing)))
+        else:
+            receiver_order = [pid for pid in active_order if pid not in crashing]
     else:
-        receivers = active
+        crashing = None
         receiver_order = active_order
 
     # Phase 3: deliver.  Data step first, then control step (plan order).
@@ -163,40 +214,75 @@ def execute_round(
     control_in: dict[int, set[int]] = {}
 
     if traced:
+        receivers = active if crashing is None else active - crashing
         _deliver_traced(
             senders, plans, resolved, receivers, round_no,
             stats, trace, data_in, control_in,
         )
-    else:
+    elif senders:
         _deliver_fast(
-            senders, plans, resolved, receivers,
+            senders, plans, resolved, active, crashing,
             stats, data_in, control_in,
         )
 
     # Phase 4: receive + compute for the survivors.
     inboxes: dict[int, RoundInbox] = {}
-    new_decisions: dict[int, Any] = {}
     get_data = data_in.get
     get_control = control_in.get
-    for pid in receiver_order:
-        data = get_data(pid)
-        control = get_control(pid)
-        if data is None and control is None:
-            inbox = _EMPTY_INBOX
-        else:
-            inbox = RoundInbox(
-                data={} if data is None else data,
-                control=_NO_CONTROL if control is None else frozenset(control),
-            )
-        inboxes[pid] = inbox
-        proc = procs[pid]
-        proc.compute_phase(round_no, inbox)
-        # Reads the SyncProcess decision slots directly: the two property
-        # hops per process per round are measurable on n=128 grids.
-        if proc._decided:
-            new_decisions[pid] = proc._decision
+    if table is not None:
+        # Build the inbox map from the (usually sparse) delivery side:
+        # everyone starts empty, then only receivers that actually heard
+        # something get a real inbox.  Key order stays receiver order.
+        # Inboxes are built via __new__ + slot writes: the dataclass
+        # __init__ costs ~3x as much and this runs once per hearing
+        # receiver per round.
+        new_inbox = RoundInbox.__new__
+        inboxes = dict.fromkeys(receiver_order, _EMPTY_INBOX)
+        for pid, data in data_in.items():
+            control = get_control(pid)
+            inbox = new_inbox(RoundInbox)
+            inbox.data = data
+            inbox.control = _NO_CONTROL if control is None else frozenset(control)
+            inboxes[pid] = inbox
+        if control_in:
+            for pid, control in control_in.items():
+                if pid not in data_in:
+                    inbox = new_inbox(RoundInbox)
+                    inbox.data = {}
+                    inbox.control = frozenset(control)
+                    inboxes[pid] = inbox
+        new_decisions = table.compute_phase_all(round_no, inboxes)
+        # Mirror decisions onto the process objects so `decided`/`decision`
+        # views (user code holding the procs) stay true.  Slots are written
+        # directly: `decide()` would re-check the double-decision guard the
+        # engine already enforces by dropping deciders from the active set.
+        for pid, value in new_decisions.items():
+            proc = procs[pid]
+            proc._decided = True
+            proc._decision = value
             if traced:
-                trace.record(round_no, "decide", pid, value=proc._decision)
+                trace.record(round_no, "decide", pid, value=value)
+    else:
+        new_decisions = {}
+        for pid in receiver_order:
+            data = get_data(pid)
+            control = get_control(pid)
+            if data is None and control is None:
+                inbox = _EMPTY_INBOX
+            else:
+                inbox = RoundInbox(
+                    data={} if data is None else data,
+                    control=_NO_CONTROL if control is None else frozenset(control),
+                )
+            inboxes[pid] = inbox
+            proc = procs[pid]
+            proc.compute_phase(round_no, inbox)
+            # Reads the SyncProcess decision slots directly: the two property
+            # hops per process per round are measurable on n=128 grids.
+            if proc._decided:
+                new_decisions[pid] = proc._decision
+                if traced:
+                    trace.record(round_no, "decide", pid, value=proc._decision)
 
     return RoundOutcome(
         round_no=round_no,
@@ -259,7 +345,8 @@ def _deliver_fast(
     senders: list[int],
     plans: dict[int, SendPlan],
     resolved: dict[int, ResolvedCrash],
-    receivers: set[int],
+    active: set[int],
+    crashing: set[int] | None,
     stats: MessageStats,
     data_in: dict[int, dict[int, Any]],
     control_in: dict[int, set[int]],
@@ -269,7 +356,11 @@ def _deliver_fast(
     Totals are identical to :func:`_deliver_traced` — data bits are still
     sized per payload (memoized in :mod:`repro.net.payload`), only charged
     in one batch per (sender, step) instead of per message.
+
+    The receiver set is materialized lazily: a round whose only speaker
+    crashed with nothing escaping (the cascade shape) never needs it.
     """
+    receivers: set[int] | None = None
     for sender in senders:
         plan = plans[sender]
         rc = resolved.get(sender)
@@ -284,20 +375,32 @@ def _deliver_fast(
             else:
                 data = None
 
+        if data or control_dests:
+            if receivers is None:
+                receivers = active if crashing is None else active - crashing
+
         if data:
             sent_bits = 0
             delivered = 0
             delivered_bits = 0
+            # Broadcast plans map every destination to the *same* payload
+            # object; one identity test then replaces the memo lookup.
+            prev_payload: Any = _deliver_fast  # impossible payload sentinel
+            bits = 0
+            get_inbox = data_in.get
             for dest, payload in data.items():
-                bits = bit_size(payload)
+                if payload is not prev_payload:
+                    bits = bit_size(payload)
+                    prev_payload = payload
                 sent_bits += bits
                 if dest in receivers:
                     delivered += 1
                     delivered_bits += bits
-                    inbox = data_in.get(dest)
+                    inbox = get_inbox(dest)
                     if inbox is None:
-                        inbox = data_in[dest] = {}
-                    inbox[sender] = payload
+                        data_in[dest] = {sender: payload}
+                    else:
+                        inbox[sender] = payload
             stats.bulk_data(len(data), sent_bits)
             if delivered:
                 stats.bulk_data(delivered, delivered_bits, delivered=True)
@@ -329,6 +432,16 @@ class SynchronousEngine:
         Source used to resolve RANDOM subset/prefix policies.
     trace:
         Set ``False`` to disable event recording (large sweeps).
+    batched:
+        ``None`` (default) auto-detects: when every process is of one
+        type with a registered :class:`~repro.sync.api.BatchedAlgorithm`
+        table, rounds step through the columnar table (two hook calls per
+        round instead of two per process).  ``False`` forces per-process
+        stepping (the parity grid compares the two); ``True`` requires a
+        table and raises when none is registered.  While stepping
+        batched, the table is the authoritative copy of algorithm state —
+        decisions are mirrored back to the process objects, other
+        per-process attributes are not.
     """
 
     model_name = "extended"
@@ -342,12 +455,27 @@ class SynchronousEngine:
         t: int | None = None,
         rng: RandomSource | None = None,
         trace: bool = True,
+        batched: bool | None = None,
     ) -> None:
         if not processes:
             raise ConfigurationError("no processes given")
         n = processes[0].n
-        pids = sorted(p.pid for p in processes)
-        if pids != list(range(1, n + 1)) or any(p.n != n for p in processes):
+        # One pass collects pids, the pid->proc map, and the proposal
+        # snapshot; the sorted-pids comparison below then validates shape.
+        procs: dict[int, SyncProcess] = {}
+        proposals: dict[int, Any] = {}
+        common_n = True
+        for p in processes:
+            procs[p.pid] = p
+            proposals[p.pid] = getattr(p, "proposal", None)
+            common_n &= p.n == n
+        pids = sorted(procs)
+        if (
+            not common_n
+            or len(procs) != len(processes)
+            or pids != list(range(1, n + 1))
+        ):
+            pids = sorted(p.pid for p in processes)
             raise ConfigurationError(
                 f"processes must have pids exactly 1..n with a common n; got {pids}"
             )
@@ -355,7 +483,7 @@ class SynchronousEngine:
         self.t = n - 1 if t is None else t
         if not 0 <= self.t < n:
             raise ConfigurationError(f"t must satisfy 0 <= t < n, got t={self.t}, n={n}")
-        self.procs: dict[int, SyncProcess] = {p.pid: p for p in processes}
+        self.procs = procs
         self.schedule = schedule if schedule is not None else CrashSchedule.none()
         self.schedule.validate(n, self.t)
         self.rng = rng
@@ -371,9 +499,16 @@ class SynchronousEngine:
             self._crashes_by_round.setdefault(ev.round_no, {})[ev.pid] = ev
         self._crashed_round: dict[int, int] = {}
         self._decided_round: dict[int, int] = {}
-        self._proposals: dict[int, Any] = {
-            pid: getattr(p, "proposal", None) for pid, p in self.procs.items()
-        }
+        self._decisions: dict[int, Any] = {}
+        self._proposals = proposals
+        self._table: BatchedAlgorithm | None = None
+        if batched is None or batched:
+            self._table = batched_table_for(processes)
+            if batched and self._table is None:
+                raise ConfigurationError(
+                    f"batched=True but {type(processes[0]).__name__} has no "
+                    f"registered batched table"
+                )
         self._round = 0
 
     # -- stepping -----------------------------------------------------------
@@ -388,6 +523,21 @@ class SynchronousEngine:
         """Processes still alive and undecided."""
         return set(self._active)
 
+    @property
+    def decisions(self) -> dict[int, Any]:
+        """pid → decided value, as recorded by the engine's own ledger."""
+        return dict(self._decisions)
+
+    @property
+    def decision_rounds(self) -> dict[int, int]:
+        """pid → round in which the decision landed."""
+        return dict(self._decided_round)
+
+    @property
+    def crashed_rounds(self) -> dict[int, int]:
+        """pid → round in which the process crashed."""
+        return dict(self._crashed_round)
+
     def step(self) -> RoundOutcome:
         """Execute one round; mutates engine and process state."""
         if not self._active:
@@ -397,7 +547,7 @@ class SynchronousEngine:
             self.procs,
             self._active,
             self._round,
-            self._crashes_by_round.get(self._round, {}),
+            self._crashes_by_round.get(self._round, _NO_CRASHES),
             allow_control=self.allow_control,
             stats=self.stats,
             trace=self.trace,
@@ -405,17 +555,39 @@ class SynchronousEngine:
             n=self.n,
             pids=self._pids,
             active_order=self._active_order,
+            table=self._table,
         )
         for pid in outcome.resolved_crashes:
             self._crashed_round[pid] = self._round
             self._active.discard(pid)
-        for pid in outcome.new_decisions:
-            self._decided_round[pid] = self._round
-            self._active.discard(pid)
-        if outcome.resolved_crashes or outcome.new_decisions:
-            self._active_order = [
-                pid for pid in self._active_order if pid in self._active
-            ]
+        new_decisions = outcome.new_decisions
+        if new_decisions:
+            if len(new_decisions) <= 2:
+                for pid, value in new_decisions.items():
+                    self._decided_round[pid] = self._round
+                    self._decisions[pid] = value
+                    self._active.discard(pid)
+            else:
+                # Mass-decision rounds (the cascade's last round, flooding
+                # horizons): three C-level bulk updates instead of 3n
+                # Python-loop operations.
+                self._decisions.update(new_decisions)
+                self._decided_round.update(dict.fromkeys(new_decisions, self._round))
+                self._active.difference_update(new_decisions)
+        removed = len(outcome.resolved_crashes) + len(outcome.new_decisions)
+        if removed:
+            if removed <= 2:
+                # The common cascade shape: one crash or one decision per
+                # round.  list.remove is one C-level scan; rebuilding the
+                # whole order would re-touch every surviving pid.
+                for pid in outcome.resolved_crashes:
+                    self._active_order.remove(pid)
+                for pid in outcome.new_decisions:
+                    self._active_order.remove(pid)
+            else:
+                self._active_order = [
+                    pid for pid in self._active_order if pid in self._active
+                ]
         return outcome
 
     def run(self, max_rounds: int | None = None) -> RunResult:
@@ -436,15 +608,24 @@ class SynchronousEngine:
     def result(self) -> RunResult:
         """Materialize the current :class:`~repro.sync.result.RunResult`."""
         outcomes: dict[int, ProcessOutcome] = {}
-        for pid, proc in self.procs.items():
+        # Decision values/rounds and crash rounds come from the engine's own
+        # ledgers (identical in per-process and batched mode) rather than
+        # from process attributes — no property hops over n processes.
+        decisions = self._decisions
+        decided_round = self._decided_round
+        crashed_round = self._crashed_round
+        for pid in self.procs:
+            decided = pid in decisions
+            # Positional construction: keyword passing costs ~40% more and
+            # this loop builds n outcomes per run on the benchmark path.
             outcomes[pid] = ProcessOutcome(
-                pid=pid,
-                proposal=self._proposals[pid],
-                decided=proc.decided,
-                decision=proc.decision if proc.decided else None,
-                decided_round=self._decided_round.get(pid, 0),
-                crashed=pid in self._crashed_round,
-                crashed_round=self._crashed_round.get(pid, 0),
+                pid,
+                self._proposals[pid],
+                decided,
+                decisions[pid] if decided else None,
+                decided_round.get(pid, 0),
+                pid in crashed_round,
+                crashed_round.get(pid, 0),
             )
         return RunResult(
             n=self.n,

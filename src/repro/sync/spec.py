@@ -20,6 +20,7 @@ with the run summary (:func:`assert_consensus`), which is what tests use.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import SpecViolationError
 from repro.sync.result import RunResult
@@ -62,30 +63,42 @@ def check_consensus(
         number of crashes in the run.
     """
     violations: list[str] = []
+    # One pass over the outcomes collects everything the clauses need; the
+    # RunResult derived-view properties would each re-iterate all n of them.
     proposals = set()
-    for o in result.outcomes.values():
+    deciders: dict[int, Any] = {}
+    undecided_correct: list[int] = []
+    crashed_count = 0
+    last = 0
+    for pid, o in result.outcomes.items():
         # Proposals may be unhashable in principle; the library's values are
         # ints/strs/SizedValue, all hashable.
         proposals.add(o.proposal)
+        if o.crashed:
+            crashed_count += 1
+        elif not o.decided:
+            undecided_correct.append(pid)
+        if o.decided:
+            deciders[pid] = o.decision
+            if o.decided_round > last:
+                last = o.decided_round
 
     # Termination: every correct process decided, and the run completed.
-    for pid in result.correct_pids:
-        if not result.outcomes[pid].decided:
-            violations.append(f"termination: correct p{pid} never decided")
+    for pid in sorted(undecided_correct):
+        violations.append(f"termination: correct p{pid} never decided")
     if not result.completed:
         violations.append(
             f"termination: run stopped at round budget with live undecided processes"
         )
 
     # Validity: decided values were proposed.
-    for pid, value in result.decisions.items():
+    for pid, value in deciders.items():
         if value not in proposals:
             violations.append(
                 f"validity: p{pid} decided {value!r} which nobody proposed"
             )
 
     # Agreement.
-    deciders = result.decisions
     scope = deciders if uniform else {
         pid: v for pid, v in deciders.items() if result.outcomes[pid].correct
     }
@@ -102,8 +115,7 @@ def check_consensus(
         violations.append(f"{kind}: conflicting decisions ({detail})")
 
     # Round bounds.
-    last = result.last_decision_round
-    es_bound = result.f + 1
+    es_bound = crashed_count + 1
     if round_bound is not None and last > round_bound:
         violations.append(
             f"round bound: last decision at round {last} > bound {round_bound}"

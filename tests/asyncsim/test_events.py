@@ -77,8 +77,8 @@ class TestEventQueue:
     def test_cancelled_events_skipped(self):
         q = EventQueue()
         log = []
-        ev = q.schedule(1.0, lambda: log.append("x"))
-        ev.cancel()
+        token = q.schedule(1.0, lambda: log.append("x"))
+        q.cancel(token)
         q.run()
         assert log == []
         assert q.executed == 0
@@ -92,3 +92,121 @@ class TestEventQueue:
         q.schedule(1.0, respawn)
         with pytest.raises(SimulationError):
             q.run(max_events=100)
+
+    def test_action_argument_passthrough(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, log.append, "arg")
+        q.schedule(2.0, lambda: log.append("closure"))
+        q.run()
+        assert log == ["arg", "closure"]
+
+
+class TestCancellation:
+    def test_cancel_is_idempotent_and_accounting_exact(self):
+        q = EventQueue()
+        log = []
+        keep = q.schedule(1.0, lambda: log.append("keep"))
+        drop = q.schedule(2.0, lambda: log.append("drop"))
+        q.cancel(drop)
+        q.cancel(drop)  # idempotent: dead count must not double
+        assert len(q) == 1
+        q.run()
+        assert log == ["keep"]
+        assert q.executed == 1  # tombstones never count as executed
+        assert len(q) == 0
+
+    def test_cancel_unknown_token_is_noop(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.cancel(999)
+        q.cancel(-1)
+        assert len(q) == 1
+        assert q.run() == 1.0
+        assert q.executed == 1
+
+    def test_cancel_after_execution_is_noop(self):
+        """A stale token (event already ran) must not skew the accounting."""
+        q = EventQueue()
+        first = q.schedule(1.0, lambda: None)
+        for i in range(3):
+            q.schedule(float(i + 2), lambda: None)
+        q.run(until=1.5)  # executes only `first`
+        q.cancel(first)  # stale: the entry left the heap when it ran
+        assert len(q) == 3  # the three live events are all still counted
+        end = q.run()
+        assert end == 4.0
+        assert q.executed == 4
+        assert len(q) == 0  # would previously underflow to -1 and raise
+
+    def test_majority_dead_heap_compacts(self):
+        """Cancelled events no longer sit in the heap until drain."""
+        q = EventQueue()
+        live = [q.schedule(float(100 + i), lambda: None) for i in range(10)]
+        dead = [q.schedule(float(i + 1), lambda: None) for i in range(11)]
+        for token in dead:
+            q.cancel(token)
+        # More than half the entries were tombstoned -> the heap itself
+        # shrank to the live entries; nothing waits for drain to be freed.
+        assert len(q._heap) == len(live)
+        assert len(q) == len(live)
+        q.run()
+        assert q.executed == len(live)
+
+    def test_below_threshold_tombstones_drop_unrun(self):
+        q = EventQueue()
+        log = []
+        for i in range(10):
+            q.schedule(float(i + 1), lambda i=i: log.append(i))
+        victim = q.schedule(0.5, lambda: log.append("victim"))
+        q.cancel(victim)  # 1 of 11 dead: stays as a tombstone
+        assert len(q._heap) == 11
+        assert len(q) == 10
+        q.run()
+        assert "victim" not in log
+        assert q.executed == 10
+
+    def test_determinism_under_cancellation(self):
+        """Cancelling events must not perturb the order of the survivors."""
+
+        def run(cancel: bool) -> list[str]:
+            q = EventQueue()
+            log: list[str] = []
+            tokens = {}
+            # Interleave same-time events so seq tie-breaks matter.
+            for name in "abcdef":
+                tokens[name] = q.schedule(1.0, lambda n=name: log.append(n))
+            for name in "uvwxyz":
+                tokens[name] = q.schedule(2.0, lambda n=name: log.append(n))
+            if cancel:
+                for name in ("b", "e", "u", "y"):
+                    q.cancel(tokens[name])
+            q.run()
+            return log
+
+        full = run(cancel=False)
+        pruned = run(cancel=True)
+        assert full == list("abcdef") + list("uvwxyz")
+        # Survivors keep exactly their original relative order.
+        assert pruned == [n for n in full if n not in ("b", "e", "u", "y")]
+
+    def test_cancellation_respects_until_horizon(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append("early"))
+        late = q.schedule(10.0, lambda: log.append("late"))
+        q.cancel(late)
+        end = q.run(until=5.0)
+        # The cancelled late event is consumed (not pushed back at the
+        # horizon), so the queue drains and time rests at the last action.
+        assert log == ["early"] and end == 1.0
+        assert len(q) == 0
+
+    def test_cancel_mid_run_from_action(self):
+        q = EventQueue()
+        log = []
+        second = q.schedule(2.0, lambda: log.append("second"))
+        q.schedule(1.0, lambda: (log.append("first"), q.cancel(second)))
+        q.run()
+        assert log == ["first"]
+        assert q.executed == 1

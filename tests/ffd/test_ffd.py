@@ -7,8 +7,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.ffd.consensus import run_ffd_consensus
-from repro.ffd.timed import TimedCrash, TimedSpec
+from repro.ffd.consensus import FastFDConsensus, run_ffd_consensus
+from repro.ffd.timed import TimedCrash, TimedEnvironment, TimedSpec
 from repro.util.rng import RandomSource
 
 SPEC = TimedSpec(n=5, D=100.0, d=1.0)
@@ -130,3 +130,50 @@ class TestCrashCascades:
             result.fired_slots,
             result.crashed,
         )
+
+
+class TestFiredSlotsFastPath:
+    """PR 3 rewrote fired_slots as a cached single pass; pin it against
+    the definition (the quadratic pairwise scan over crashed_by)."""
+
+    @staticmethod
+    def _reference(proc):
+        d = proc.env.spec.d
+        view = proc.env.detectors[proc.pid]
+        fired = []
+        for i in range(1, proc.n + 1):
+            slot_time = (i - 1) * d
+            if view.crashed_by(i, slot_time):
+                continue
+            if all(view.crashed_by(j, slot_time) for j in range(1, i)):
+                fired.append(i)
+        return fired
+
+    @given(data=st.data())
+    def test_matches_reference_on_arbitrary_report_maps(self, data):
+        n = data.draw(st.sampled_from([3, 6, 9]), label="n")
+        spec = TimedSpec(n=n, D=100.0, d=1.0)
+        env = TimedEnvironment(spec, [], RandomSource(0))
+        proc = FastFDConsensus(n, n, 0, env)
+        view = env.detectors[n]
+        reported = data.draw(
+            st.frozensets(st.integers(1, n), max_size=n), label="reported"
+        )
+        for pid in sorted(reported):
+            view.reports[pid] = data.draw(
+                st.floats(0.0, 3.0 * n), label=f"t{pid}"
+            )
+            view.version += 1
+        assert proc.fired_slots() == self._reference(proc)
+
+    def test_cache_invalidates_on_new_report(self):
+        spec = TimedSpec(n=4, D=100.0, d=1.0)
+        env = TimedEnvironment(spec, [], RandomSource(0))
+        proc = FastFDConsensus(4, 4, 0, env)
+        view = env.detectors[4]
+        assert proc.fired_slots() == [1]
+        first = proc.fired_slots()
+        assert proc.fired_slots() is first  # cached between reports
+        view.reports[1] = 0.0
+        view.version += 1
+        assert proc.fired_slots() == [2] == self._reference(proc)

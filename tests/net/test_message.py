@@ -25,14 +25,23 @@ class TestMessageBits:
         asy = Message(MessageKind.ASYNC, 1, 2, 5, payload=SizedValue(7, 64), tag="EST")
         assert asy.bits() == data.bits() + 40
 
-    def test_immutable(self):
+    def test_no_stray_attributes(self):
+        # Message is treat-as-immutable but no longer `frozen` (the async
+        # hot path builds one per message; see the class docstring).  The
+        # slots layout still rejects unknown attributes, so typos fail
+        # loudly and instances cannot grow hidden state.
         msg = Message(MessageKind.DATA, 1, 2, 1, payload=1)
         try:
-            msg.payload = 2  # type: ignore[misc]
+            msg.paylod = 2  # type: ignore[attr-defined]
             raised = False
         except AttributeError:
             raised = True
         assert raised
+
+    def test_hashes_by_value(self):
+        a = Message(MessageKind.DATA, 1, 2, 1, payload=1)
+        b = Message(MessageKind.DATA, 1, 2, 1, payload=1)
+        assert a == b and hash(a) == hash(b)
 
     def test_str_mentions_endpoints(self):
         s = str(Message(MessageKind.DATA, 3, 4, 2, payload=9))

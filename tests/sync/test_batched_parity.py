@@ -1,0 +1,161 @@
+"""Batched-stepping parity: columnar tables must match per-process runs.
+
+PR 3's batched stepping protocol (``repro.sync.api.BatchedAlgorithm``)
+lets an algorithm step a whole round through one columnar table instead
+of two method calls per process.  The engine treats registered tables as
+trusted mirrors of their per-process classes, so this grid is the
+contract: for every algorithm that registered a table, a batched run
+must be **byte-identical** to a per-process run — the normalized
+RunRecord, every MessageStats counter, and the per-round inboxes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import ADVERSARIES, ALGORITHMS, Scenario, execute
+from repro.sync.api import batched_table_for
+
+#: Algorithms whose process class registered a columnar table (probed via
+#: the same detection hook the engine uses, on a tiny throwaway table).
+def _has_table(name: str) -> bool:
+    algo = ALGORITHMS.get(name)
+    if algo.backend not in ("extended", "classic") or algo.factory is None:
+        return False
+    procs = algo.factory(3, 2, [1, 2, 3], {})
+    return batched_table_for(procs) is not None
+
+
+BATCHED_ALGORITHMS = sorted(
+    name for name in ALGORITHMS.names() if _has_table(name)
+)
+
+EXTENDED_ADVERSARIES = sorted(
+    name for name, adv in ADVERSARIES.items() if adv.make_sync is not None
+)
+CLASSIC_ADVERSARIES = ["none", "staggered", "random"]
+
+
+def _cells():
+    for algorithm in BATCHED_ALGORITHMS:
+        backend = ALGORITHMS.get(algorithm).backend
+        adversaries = (
+            EXTENDED_ADVERSARIES if backend == "extended" else CLASSIC_ADVERSARIES
+        )
+        for adversary in adversaries:
+            yield algorithm, adversary
+
+
+def test_hot_algorithms_are_batched():
+    """The algorithms the issue names must actually carry tables."""
+    for name in ("crw", "eager-crw", "truncated-crw", "increasing-commit-crw",
+                 "full-broadcast-crw", "floodset", "early-stopping"):
+        assert name in BATCHED_ALGORITHMS, f"{name} lost its batched table"
+
+
+@pytest.mark.parametrize("algorithm,adversary", list(_cells()))
+@pytest.mark.parametrize("seed", [0, 1, 2, 7, 13])
+def test_records_and_stats_identical(algorithm, adversary, seed):
+    scenario = Scenario(
+        algorithm=algorithm, n=6, f=2, adversary=adversary, seed=seed,
+    )
+    batched = execute(scenario, batched=True)
+    reference = execute(scenario, batched=False)
+
+    # The normalized record agrees field for field (to_dict drops `raw`).
+    assert batched.to_dict() == reference.to_dict()
+
+    # And the raw per-kind counters agree individually — messages_sent /
+    # bits_sent alone could mask compensating errors between kinds or
+    # between the sent and delivered sides.
+    assert batched.raw.stats == reference.raw.stats
+
+
+@pytest.mark.parametrize("algorithm", BATCHED_ALGORITHMS)
+def test_traced_runs_identical_too(algorithm):
+    """Batching is orthogonal to tracing: traced batched == traced reference."""
+    scenario = Scenario(
+        algorithm=algorithm, n=5, f=1, adversary="staggered", seed=3,
+    )
+    batched = execute(scenario, trace=True, batched=True)
+    reference = execute(scenario, trace=True, batched=False)
+    assert batched.to_dict() == reference.to_dict()
+    assert batched.raw.trace.format() == reference.raw.trace.format()
+
+
+def test_inboxes_and_plans_identical_between_modes():
+    """Beyond the record: per-round plans and inbox contents match exactly."""
+    from repro.sync.extended import ExtendedSynchronousEngine
+    from repro.util.rng import RandomSource
+
+    def run(batched):
+        rng = RandomSource(5)
+        schedule = ADVERSARIES.get("coordinator-killer").make_sync(2).schedule(
+            6, 5, rng.spawn("adversary")
+        )
+        procs = ALGORITHMS.get("crw").factory(6, 5, list(range(6)), {})
+        engine = ExtendedSynchronousEngine(
+            procs, schedule, t=5, rng=rng.spawn("engine"), trace=False,
+            batched=batched,
+        )
+        outcomes = []
+        while engine.active_pids:
+            outcomes.append(engine.step())
+        return engine, outcomes
+
+    eng_b, batched = run(True)
+    eng_r, reference = run(False)
+    assert eng_b._table is not None and eng_r._table is None
+    for fast, ref in zip(batched, reference, strict=True):
+        assert fast.round_no == ref.round_no
+        assert fast.new_decisions == ref.new_decisions
+        assert list(fast.plans) == list(ref.plans)  # key order included
+        for pid, plan in fast.plans.items():
+            assert dict(plan.data) == dict(ref.plans[pid].data)
+            assert plan.control == ref.plans[pid].control
+        assert list(fast.inboxes) == list(ref.inboxes)
+        for pid, inbox in fast.inboxes.items():
+            assert dict(inbox.data) == dict(ref.inboxes[pid].data)
+            assert inbox.control == ref.inboxes[pid].control
+    # Decisions were mirrored onto the process objects in both modes.
+    for pid, proc in eng_b.procs.items():
+        assert proc.decided == eng_r.procs[pid].decided
+        assert proc.decision == eng_r.procs[pid].decision
+
+
+def test_wrappers_fall_back_to_per_process():
+    """Cross-model wrappers are not tables: detection must decline them."""
+    from repro.core.crw import CRWConsensus
+    from repro.simulation.classic_on_extended import ClassicOnExtended
+    from repro.baselines.floodset import FloodSetConsensus
+
+    inner = [FloodSetConsensus(pid, 3, pid, t=1) for pid in (1, 2, 3)]
+    wrapped = [ClassicOnExtended(p) for p in inner]
+    assert batched_table_for(wrapped) is None
+
+    # Mixed tables decline too, even when every class has a table.
+    mixed = [CRWConsensus(1, 3, 1), CRWConsensus(2, 3, 2),
+             FloodSetConsensus(3, 3, 3, t=1)]
+    assert batched_table_for(mixed) is None
+
+
+def test_batched_true_requires_a_table():
+    from repro.sync.api import NO_SEND, SendPlan, SyncProcess
+    from repro.sync.extended import ExtendedSynchronousEngine
+
+    class Plain(SyncProcess):
+        def send_phase(self, round_no):
+            return NO_SEND
+
+        def compute_phase(self, round_no, inbox):
+            self.decide(0)
+
+    procs = [Plain(pid, 3) for pid in (1, 2, 3)]
+    with pytest.raises(ConfigurationError):
+        ExtendedSynchronousEngine(procs, t=2, batched=True)
+    # Auto mode simply falls back.
+    engine = ExtendedSynchronousEngine(procs, t=2)
+    assert engine._table is None
+    engine.run()
+    assert engine.decisions == {1: 0, 2: 0, 3: 0}
