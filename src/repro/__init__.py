@@ -45,6 +45,7 @@ from repro.lowerbound import (
 )
 from repro.rsm import Command, KVStore, ReplicatedLog
 from repro.scenarios import (
+    EngineLease,
     RunRecord,
     Scenario,
     SweepRunner,
@@ -111,6 +112,7 @@ __all__ = [
     "Scenario",
     "RunRecord",
     "execute",
+    "EngineLease",
     "SweepRunner",
     "expand_grid",
     "register_algorithm",

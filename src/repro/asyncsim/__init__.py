@@ -1,9 +1,9 @@
 """Asynchronous substrate: event simulator, ◇S detector, MR99 consensus."""
 
-from repro.asyncsim.chandra_toueg import ChandraTouegConsensus
+from repro.asyncsim.chandra_toueg import ChandraTouegConsensus, ChandraTouegTable
 from repro.asyncsim.events import EventQueue
 from repro.asyncsim.failure_detector import DetectorSpec, SimulatedDiamondS
-from repro.asyncsim.mr99 import BOT, MR99Consensus
+from repro.asyncsim.mr99 import BOT, MR99Consensus, MR99Table
 from repro.asyncsim.network import (
     AsyncNetwork,
     ConstantDelay,
@@ -12,24 +12,35 @@ from repro.asyncsim.network import (
     LogNormalDelay,
     UniformDelay,
 )
-from repro.asyncsim.process import AsyncProcess, ProcessContext
+from repro.asyncsim.process import (
+    AsyncBatchedTable,
+    AsyncProcess,
+    ProcessContext,
+    async_table_for,
+    register_async_table,
+)
 from repro.asyncsim.runner import AsyncCrash, AsyncRunner, AsyncRunResult
 
 __all__ = [
     "ChandraTouegConsensus",
+    "ChandraTouegTable",
     "EventQueue",
     "DetectorSpec",
     "SimulatedDiamondS",
     "BOT",
     "MR99Consensus",
+    "MR99Table",
     "AsyncNetwork",
     "ConstantDelay",
     "DelayModel",
     "GstDelay",
     "LogNormalDelay",
     "UniformDelay",
+    "AsyncBatchedTable",
     "AsyncProcess",
     "ProcessContext",
+    "async_table_for",
+    "register_async_table",
     "AsyncCrash",
     "AsyncRunner",
     "AsyncRunResult",

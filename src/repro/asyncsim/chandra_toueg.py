@@ -32,13 +32,15 @@ coordinator crashing mid-DECIDE cannot split the outcome.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any
+from typing import Any, Sequence
 
-from repro.asyncsim.process import AsyncProcess
+from repro.asyncsim.failure_detector import SimulatedDiamondS
+from repro.asyncsim.network import AsyncNetwork
+from repro.asyncsim.process import AsyncBatchedTable, AsyncProcess, register_async_table
 from repro.errors import ConfigurationError
 from repro.net.message import Message
 
-__all__ = ["ChandraTouegConsensus"]
+__all__ = ["ChandraTouegConsensus", "ChandraTouegTable"]
 
 
 class ChandraTouegConsensus(AsyncProcess):
@@ -87,7 +89,7 @@ class ChandraTouegConsensus(AsyncProcess):
 
     def on_message(self, msg: Message) -> None:
         if msg.tag == "DECIDE":
-            self._on_decide(msg.payload)
+            self._on_decide(msg.payload, msg.round_no)
             return
         if self.decided:
             return
@@ -103,11 +105,18 @@ class ChandraTouegConsensus(AsyncProcess):
             self._votes[msg.round_no].setdefault(msg.sender, False)
         self._progress()
 
-    def _on_decide(self, value: Any) -> None:
+    def _on_decide(self, value: Any, round_no: int) -> None:
+        """Decide ``value``; ``round_no`` is the original deciding round.
+
+        Deciders pass their own current round, flood learners pass the
+        round carried by the DECIDE message, and the relay propagates it
+        unchanged — so every process records the same ``decision_round``
+        (relayers used to stamp their own round, splitting the records).
+        """
         if not self.decided:
             self.est = value
-            self.decide(value, round_no=self.r)
-            self.ctx.broadcast("DECIDE", value, round_no=self.r)  # reliable relay
+            self.decide(value, round_no=round_no)
+            self.ctx.broadcast("DECIDE", value, round_no=round_no)  # reliable relay
 
     # -- state machine ------------------------------------------------------------
 
@@ -123,7 +132,7 @@ class ChandraTouegConsensus(AsyncProcess):
             acks = sum(1 for ack in votes.values() if ack)
             if acks >= self._majority and not self._sent_decide:
                 self._sent_decide = True
-                self._on_decide(value)
+                self._on_decide(value, self.r)
                 return True
         return False
 
@@ -165,3 +174,226 @@ class ChandraTouegConsensus(AsyncProcess):
             # and _check_lock on later events.
             self.rounds_executed += 1
             self.r += 1
+
+
+# ---------------------------------------------------------------------------
+# Columnar table: the batched fast path over the same state machine.
+# ---------------------------------------------------------------------------
+
+
+@register_async_table(ChandraTouegConsensus)
+class ChandraTouegTable(AsyncBatchedTable):
+    """All CT processes of one run, in pid-indexed parallel columns.
+
+    Same discipline as :class:`repro.asyncsim.mr99.MR99Table`: buffer
+    updates are applied straight to the columns, and the (mirrored)
+    ``_progress`` state machine re-runs only when the event can satisfy
+    the destination's current wait.  A blocked CT process is always at
+    the vote-wait of its current round ``r`` (EST shipped, vote pending),
+    so:
+
+    * ``EST(ρ)``  wakes the coordinator of ``ρ`` iff ``ρ`` is its current
+      round, TRY is unsent, and the arrival completes the majority;
+    * ``TRY(ρ)``  wakes ``p`` iff ``ρ`` is ``p``'s current round;
+    * ``ACK(ρ)``  wakes a past/present coordinator iff it completes an
+      ACK majority for a round it coordinated (the lock step);
+    * ``NACK`` never wakes anyone (it cannot complete an ACK majority);
+    * a detector change wakes ``p`` iff it now suspects its current
+      round's coordinator.
+
+    Per-round ACK tallies are kept incrementally, so the lock check costs
+    one integer compare per ACK instead of a vote-dict scan per event.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[ChandraTouegConsensus],
+        network: AsyncNetwork,
+        detector: SimulatedDiamondS,
+    ) -> None:
+        procs = sorted(processes, key=lambda p: p.pid)
+        self.n = procs[0].n
+        self.t = procs[0].t
+        self.majority = self.n // 2 + 1
+        self.network = network
+        self.detector = detector
+        self.procs = procs
+        self.est: list[Any] = [p.est for p in procs]
+        self.ts: list[int] = [p.ts for p in procs]
+        self.r: list[int] = [p.r for p in procs]
+        self.decided: list[bool] = [p.decided for p in procs]
+        # Monotone "done through round" markers replace the per-object
+        # sets — a CT process never revisits a round's send duties.
+        self.est_sent: list[int] = [0] * self.n
+        self.vote_sent: list[int] = [0] * self.n
+        self.try_sent: list[int] = [0] * self.n
+        self.sent_decide: list[bool] = [False] * self.n
+        self.my_try: list[dict[int, Any]] = [{} for _ in procs]
+        self.estimates: list[dict[int, dict[int, tuple[Any, int]]]] = [
+            {} for _ in procs
+        ]
+        self.votes: list[dict[int, dict[int, bool]]] = [{} for _ in procs]
+        self.ack_counts: list[dict[int, int]] = [{} for _ in procs]
+        self.trybuf: list[dict[int, Any]] = [{} for _ in procs]
+        self.rounds_executed: list[int] = [0] * self.n
+
+    @classmethod
+    def from_processes(
+        cls,
+        processes: Sequence[ChandraTouegConsensus],
+        network: AsyncNetwork,
+        detector: SimulatedDiamondS,
+    ) -> "ChandraTouegTable":
+        return cls(processes, network, detector)
+
+    # -- event handlers ------------------------------------------------------
+
+    def on_start(self, pid: int) -> None:
+        self._progress(pid - 1)
+
+    def deliver(self, entry: tuple) -> None:
+        bits, sender, dest, round_no, payload, tag = entry
+        if bits:  # wire delivery: charge in place (0 = local self-delivery)
+            stats = self.stats
+            stats.async_delivered += 1
+            stats.bits_delivered += bits
+        if dest in self.crashed:
+            return  # delivered into the void
+        i = dest - 1
+        if tag == "DECIDE":
+            self._decide(i, payload, round_no)
+            return
+        if self.decided[i]:
+            return
+        if tag == "EST":
+            rounds = self.estimates[i]
+            ests = rounds.get(round_no)
+            if ests is None:
+                ests = rounds[round_no] = {}
+            if sender not in ests:
+                ests[sender] = payload  # (est, ts) pair
+                if (
+                    round_no == self.r[i]
+                    and dest == ((round_no - 1) % self.n) + 1
+                    and self.try_sent[i] < round_no
+                    and len(ests) >= self.majority
+                ):
+                    self._progress(i)
+        elif tag == "TRY":
+            if sender == ((round_no - 1) % self.n) + 1:
+                trybuf = self.trybuf[i]
+                if round_no not in trybuf:
+                    trybuf[round_no] = payload
+                    if round_no == self.r[i]:
+                        self._progress(i)
+        elif tag == "ACK":
+            rounds = self.votes[i]
+            votes = rounds.get(round_no)
+            if votes is None:
+                votes = rounds[round_no] = {}
+            if sender not in votes:
+                votes[sender] = True
+                counts = self.ack_counts[i]
+                count = counts.get(round_no, 0) + 1
+                counts[round_no] = count
+                if (
+                    not self.sent_decide[i]
+                    and round_no in self.my_try[i]
+                    and count >= self.majority
+                ):
+                    self._progress(i)
+        elif tag == "NACK":
+            rounds = self.votes[i]
+            votes = rounds.get(round_no)
+            if votes is None:
+                votes = rounds[round_no] = {}
+            votes.setdefault(sender, False)
+            # A NACK can never complete an ACK majority: no wake.
+
+    def on_fd_change(self, observer: int) -> None:
+        i = observer - 1
+        if self.decided[i]:
+            return
+        r = self.r[i]
+        if r in self.trybuf[i] or self.detector.suspects(
+            observer, ((r - 1) % self.n) + 1
+        ):
+            self._progress(i)
+
+    # -- state machine -------------------------------------------------------
+
+    def _send(self, sender: int, dest: int, tag: str, payload: Any, r: int) -> None:
+        """Mirror of ``ProcessContext.send`` on the pooled tuple path."""
+        network = self.network
+        if dest == sender:
+            network.queue.schedule(
+                0.0, network._deliver_entry, (0, sender, dest, r, payload, tag)
+            )
+        else:
+            network.send_pooled(sender, dest, r, payload, tag)
+
+    def _decide(self, i: int, value: Any, round_no: int) -> None:
+        """Mirror of ``_on_decide``: record, mirror back, relay the round on."""
+        if self.decided[i]:
+            return
+        self.decided[i] = True
+        self.est[i] = value
+        self.procs[i].decide(value, round_no=round_no)
+        self.network.broadcast(i + 1, self.n, "DECIDE", value, round_no, None)
+
+    def _check_lock(self, i: int) -> bool:
+        """Step 4 for every round ``p_{i+1}`` coordinated (exact mirror)."""
+        if self.sent_decide[i]:
+            return False
+        counts = self.ack_counts[i]
+        majority = self.majority
+        for r, value in self.my_try[i].items():
+            if counts.get(r, 0) >= majority:
+                self.sent_decide[i] = True
+                self._decide(i, value, self.r[i])
+                return True
+        return False
+
+    def _progress(self, i: int) -> None:
+        """Drive ``p_{i+1}`` as far as current knowledge allows (exact mirror)."""
+        if self._check_lock(i):
+            return
+        pid = i + 1
+        n = self.n
+        majority = self.majority
+        detector = self.detector
+        trybuf = self.trybuf[i]
+        while not self.decided[i]:
+            r = self.r[i]
+            c = ((r - 1) % n) + 1
+
+            # Step 1: ship my estimate to the round's coordinator (once).
+            if self.est_sent[i] < r:
+                self.est_sent[i] = r
+                self._send(pid, c, "EST", (self.est[i], self.ts[i]), r)
+
+            # Coordinator: step 2 — select the freshest estimate, broadcast.
+            if pid == c and self.try_sent[i] < r:
+                ests = self.estimates[i].get(r)
+                if ests is not None and len(ests) >= majority:
+                    best_est, _best_ts = max(
+                        ests.values(), key=lambda pair: pair[1]
+                    )
+                    self.try_sent[i] = r
+                    self.my_try[i][r] = best_est
+                    self.network.broadcast(pid, n, "TRY", best_est, r, None)
+
+            # Participant: step 3 — vote once per round.
+            if self.vote_sent[i] < r:
+                if r in trybuf:
+                    self.est[i] = trybuf[r]
+                    self.ts[i] = r
+                    self.vote_sent[i] = r
+                    self._send(pid, c, "ACK", None, r)
+                elif detector.suspects(pid, c):
+                    self.vote_sent[i] = r
+                    self._send(pid, c, "NACK", None, r)
+                else:
+                    return  # wait for TRY or suspicion
+            self.rounds_executed[i] += 1
+            self.r[i] = r + 1

@@ -25,7 +25,7 @@ that ran: tombstoned entries never increment it.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
 
@@ -47,7 +47,7 @@ class EventQueue:
         self._heap: list[tuple[float, int, Callable[..., None], Any]] = []
         self._seq = 0
         self._now = 0.0
-        self._pending: set[int] = set()  # seqs of entries still in the heap
+        self._pending: set[int] = set()  # cancellable entries still in the heap
         self._cancelled: set[int] = set()  # tombstones: seqs to drop unrun
         self._dead = 0  # tombstoned entries still sitting in the heap
         self.executed = 0
@@ -56,6 +56,22 @@ class EventQueue:
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    def reset(self) -> None:
+        """Return the queue to its freshly constructed state.
+
+        Drops every pending entry, rewinds the clock to 0, and restarts
+        the ``seq`` counter — a reset queue is indistinguishable from a
+        new one (reusable runners lean on this for determinism: event
+        sequence numbers of a leased run must match a fresh run's).
+        """
+        self._heap.clear()
+        self._pending.clear()
+        self._cancelled.clear()
+        self._dead = 0
+        self._seq = 0
+        self._now = 0.0
+        self.executed = 0
 
     def schedule(
         self,
@@ -77,6 +93,36 @@ class EventQueue:
         self._pending.add(seq)
         heapq.heappush(self._heap, (self._now + delay, seq, action, arg))
         return seq
+
+    def schedule_fanout(
+        self,
+        action: Callable[..., None],
+        delays: Sequence[float],
+        args: Sequence[Any],
+    ) -> None:
+        """Schedule ``action(args[k])`` after ``delays[k]``, for every ``k``.
+
+        Equivalent to calling :meth:`schedule` per pair in order — same
+        seq assignment, same heap contents — minus one Python frame per
+        event, which is what a broadcast fan-out of ``n`` deliveries
+        actually pays for.  The parallel-list shape lets ``zip`` pair the
+        two at C speed; the caller guarantees non-negative delays (the
+        network's delay models are validated at the draw site).
+
+        Fan-out entries are **not cancellable**: no tokens are returned,
+        so their seqs skip the ``_pending`` book-keeping entirely (one
+        set insert per delivery saved; ``cancel`` on such a seq is a
+        no-op by the existing unknown-token rule, and ``__len__`` counts
+        heap minus tombstones, which is unaffected).
+        """
+        heap = self._heap
+        push = heapq.heappush
+        now = self._now
+        seq = self._seq
+        for delay, arg in zip(delays, args):
+            push(heap, (now + delay, seq, action, arg))
+            seq += 1
+        self._seq = seq
 
     def schedule_at(
         self,
@@ -134,45 +180,79 @@ class EventQueue:
         until: float | None = None,
         max_events: int = 1_000_000,
         stop: Callable[[], bool] | None = None,
+        stop_set: Any = None,
     ) -> float:
         """Drain the queue; return the final simulated time.
 
         Stops when the queue empties, simulated time would pass ``until``,
-        ``stop()`` turns true (checked between events), or ``max_events``
-        executed (then raises — a runaway protocol is a bug, not a result).
+        ``stop()`` turns true (checked between events), ``stop_set``
+        becomes empty, or ``max_events`` executed *by this call* (then
+        raises — a runaway protocol is a bug, not a result).  The budget
+        is per ``run()`` invocation: earlier calls on the same queue
+        never eat into it.
+
+        ``stop_set`` is the allocation-free spelling of the common stop
+        predicate "some tracked collection drained": passing the
+        collection itself replaces a Python closure call per event with
+        one C-level truthiness test (the async runner's settle tracking
+        uses this).
+
+        The clock is monotone: a horizon in the past (``until < now``) is
+        clamped to ``now``, so the call executes nothing (no pending event
+        can be due — scheduling into the past is rejected) and ``now``
+        never moves backwards.
         """
+        if max_events < 1:
+            raise ConfigurationError(f"max_events must be >= 1, got {max_events}")
+        # Clamp the horizon so the clock is monotone: a past `until`
+        # executes nothing (no pending event can be due — scheduling into
+        # the past is rejected) and never rewinds `now`.  `inf` folds the
+        # "no horizon" case into one float compare per event.
+        horizon = float("inf") if until is None else max(until, self._now)
         heap = self._heap
         pop = heapq.heappop
+        push = heapq.heappush
         pending = self._pending
         cancelled = self._cancelled
-        while heap:
-            if stop is not None and stop():
-                break
-            entry = heap[0]
-            if entry[1] in cancelled:
-                pop(heap)
-                cancelled.discard(entry[1])
-                pending.discard(entry[1])
-                self._dead -= 1
-                continue
-            if until is not None and entry[0] > until:
-                # Leave the event unexecuted; the horizon ends the run.
-                self._now = until
-                break
-            pop(heap)
-            pending.discard(entry[1])
-            self._now = entry[0]
-            action = entry[2]
-            arg = entry[3]
-            if arg is None:
-                action()
-            else:
-                action(arg)
-            self.executed += 1
-            if self.executed > max_events:
-                raise SimulationError(
-                    f"event budget exceeded ({max_events}); runaway protocol?"
-                )
+        if stop_set is None:
+            stop_set = (1,)  # never-empty sentinel: one truthiness test per event
+        ran = 0
+        try:
+            while heap:
+                if not stop_set:
+                    break
+                if stop is not None and stop():
+                    break
+                entry = pop(heap)
+                when, seq, action, arg = entry
+                if seq in cancelled:
+                    cancelled.discard(seq)
+                    pending.discard(seq)
+                    self._dead -= 1
+                    continue
+                if when > horizon:
+                    # Leave the event unexecuted; the horizon ends the run.
+                    push(heap, entry)
+                    self._now = horizon
+                    break
+                if ran >= max_events:
+                    push(heap, entry)  # unexecuted: the budget ends the run
+                    raise SimulationError(
+                        f"event budget exceeded ({max_events}); runaway protocol?"
+                    )
+                if pending:
+                    pending.discard(seq)
+                self._now = when
+                if arg is None:
+                    action()
+                else:
+                    action(arg)
+                ran += 1
+        finally:
+            # One read-modify-write per run instead of one per event; the
+            # budget above counts the local `ran`, so `executed` is only
+            # read between runs and stays exact even on the budget raise.
+            self.executed += ran
         return self._now
 
     def __len__(self) -> int:

@@ -81,12 +81,24 @@ class SimulatedDiamondS:
         self.n = n
         self.queue = queue
         self.spec = spec
-        self.rng = rng.spawn("fd")
         self.on_change = on_change or (lambda observer: None)
+        self.reset(rng)
+
+    def reset(self, rng: RandomSource) -> None:
+        """Return to the freshly constructed state for a new run.
+
+        Re-derives the ``"fd"`` child stream from ``rng`` exactly as
+        construction does, clears ground truth and every observer's
+        suspicions, and reschedules the pre-stabilization churn — the
+        queue must already be rewound.  Reused by leased runners; a reset
+        detector is indistinguishable from a new one.
+        """
+        n = self.n
+        self.rng = rng.spawn("fd")
         self._crashed: set[int] = set()  # ground truth
         self._reported: dict[int, set[int]] = {i: set() for i in range(1, n + 1)}
         self._false: dict[int, set[int]] = {i: set() for i in range(1, n + 1)}
-        if spec.churn_rate > 0 and spec.stabilization_time > 0:
+        if self.spec.churn_rate > 0 and self.spec.stabilization_time > 0:
             for observer in range(1, n + 1):
                 self._schedule_churn(observer)
 

@@ -5,6 +5,25 @@ The asynchronous system of Section 4 has no bound on message delay; a
 of an adversarial scheduler).  Channels stay reliable and, as in the rest
 of the library, nothing is ever lost, duplicated, or altered — a crashed
 recipient simply never processes what arrives after its crash.
+
+Two delivery currencies coexist (mirroring the traced/fast split of the
+synchronous engines):
+
+* **Message objects** — :meth:`AsyncNetwork.send` carries one
+  :class:`~repro.net.message.Message` per event, the reference path and
+  the only one a ``per_message`` delay model can ride (such a model
+  inspects the message to choose its delay);
+* **pooled tuple entries** — when the runner installs a ``deliver_entry``
+  callback and the delay model does not inspect messages (none of the
+  built-ins do), sends and broadcasts schedule plain
+  ``(bits, sender, dest, round_no, payload, tag)`` tuples instead.  No
+  ``Message`` dataclass is constructed on the send side at all; the
+  receiver either consumes the tuple directly (batched columnar tables)
+  or materializes one ``Message`` per *delivered* message (per-object
+  mode — messages bound for crashed destinations are never built).
+  Delay draws, event sequence numbers, and accounting charges are issued
+  in exactly the order of the object path, so the two are byte-identical
+  run for run.
 """
 
 from __future__ import annotations
@@ -16,7 +35,7 @@ from typing import Any, Callable
 from repro.asyncsim.events import EventQueue
 from repro.errors import ConfigurationError
 from repro.net.accounting import MessageStats
-from repro.net.message import Message, MessageKind
+from repro.net.message import Message, MessageKind, async_bits
 from repro.util.rng import RandomSource
 
 __all__ = [
@@ -30,16 +49,42 @@ __all__ = [
 
 
 class DelayModel(abc.ABC):
-    """Produces a delivery delay for each message."""
+    """Produces a delivery delay for each message.
+
+    ``per_message`` declares whether :meth:`delay` inspects the ``msg``
+    argument.  It defaults to ``True`` — the safe assumption for any
+    subclass written against the documented signature — which keeps such
+    models on the Message-materializing path.  The built-in models
+    depend only on ``now`` and the RNG, so they declare
+    ``per_message = False`` and the network serves them from the pooled
+    tuple path (``msg`` is passed as ``None`` there, and the batched
+    columnar tables become available).  A custom model that never reads
+    message fields can opt into pooling the same way.
+    """
+
+    per_message: bool = True
 
     @abc.abstractmethod
-    def delay(self, msg: Message, now: float, rng: RandomSource) -> float:
+    def delay(self, msg: Message | None, now: float, rng: RandomSource) -> float:
         """Delay (>= 0) to apply to ``msg`` sent at time ``now``."""
+
+    def draw_many(self, k: int, now: float, rng: RandomSource) -> list[float]:
+        """``k`` consecutive delay draws for messages sent at ``now``.
+
+        Behaviourally identical to ``k`` :meth:`delay` calls (the built-in
+        overrides consume the RNG in exactly the same way — broadcast
+        fan-outs lean on that for byte-identical runs); only valid for
+        models that are not ``per_message``.
+        """
+        delay = self.delay
+        return [delay(None, now, rng) for _ in range(k)]
 
 
 @dataclass(frozen=True)
 class ConstantDelay(DelayModel):
     """Every message takes exactly ``value`` time units."""
+
+    per_message = False  # pure function of nothing: pooled path eligible
 
     value: float = 1.0
 
@@ -50,10 +95,15 @@ class ConstantDelay(DelayModel):
     def delay(self, msg: Message, now: float, rng: RandomSource) -> float:
         return self.value
 
+    def draw_many(self, k: int, now: float, rng: RandomSource) -> list[float]:
+        return [self.value] * k  # delay() never consumes the RNG
+
 
 @dataclass(frozen=True)
 class UniformDelay(DelayModel):
     """Uniform delay in ``[lo, hi]``."""
+
+    per_message = False  # draws ignore the message: pooled path eligible
 
     lo: float = 0.5
     hi: float = 1.5
@@ -65,16 +115,29 @@ class UniformDelay(DelayModel):
     def delay(self, msg: Message, now: float, rng: RandomSource) -> float:
         return rng.uniform(self.lo, self.hi)
 
+    def draw_many(self, k: int, now: float, rng: RandomSource) -> list[float]:
+        # Inlined stdlib uniform (`lo + (hi - lo) * random()`): identical
+        # floats to delay(), two Python frames fewer per draw.
+        r = rng.raw.random
+        lo, width = self.lo, self.hi - self.lo
+        return [lo + width * r() for _ in range(k)]
+
 
 @dataclass(frozen=True)
 class LogNormalDelay(DelayModel):
     """Heavy-tailed delays (LAN with rare stragglers)."""
+
+    per_message = False  # draws ignore the message: pooled path eligible
 
     mu: float = 0.0
     sigma: float = 0.5
 
     def delay(self, msg: Message, now: float, rng: RandomSource) -> float:
         return rng.lognormal(self.mu, self.sigma)
+
+    def draw_many(self, k: int, now: float, rng: RandomSource) -> list[float]:
+        ln, mu, sigma = rng.lognormal, self.mu, self.sigma
+        return [ln(mu, sigma) for _ in range(k)]
 
 
 @dataclass(frozen=True)
@@ -85,6 +148,8 @@ class GstDelay(DelayModel):
     This is the delay regime under which an eventually-accurate failure
     detector makes sense: timeouts are wrong before GST and right after.
     """
+
+    per_message = False  # draws depend on `now` only: pooled path eligible
 
     gst: float = 10.0
     wild: float = 5.0
@@ -99,15 +164,40 @@ class GstDelay(DelayModel):
             return rng.uniform(0.0, self.wild)
         return rng.uniform(self.bound * 0.1, self.bound)
 
+    def draw_many(self, k: int, now: float, rng: RandomSource) -> list[float]:
+        # One regime per instant: branch once, then inlined stdlib
+        # uniform per draw (identical floats to delay()).
+        r = rng.raw.random
+        if now < self.gst:
+            wild = self.wild
+            return [0.0 + (wild - 0.0) * r() for _ in range(k)]
+        lo = self.bound * 0.1
+        width = self.bound - lo
+        return [lo + width * r() for _ in range(k)]
+
 
 class AsyncNetwork:
     """Routes messages through the event queue with per-message delays.
 
     Delivery scheduling is batched: one shared bound method is the action
-    of every delivery event (the message and its precomputed bit cost ride
+    of every delivery event (the payload and its precomputed bit cost ride
     along as the event argument), so a send allocates no closure and no
     label string, and :meth:`broadcast` charges a whole fan-out's
     accounting in one bulk call.
+
+    ``deliver_entry``, when installed by the runner, enables the pooled
+    tuple path (see the module docstring): it is scheduled directly as
+    the delivery action and receives
+    ``(bits, sender, dest, round_no, payload, tag)`` tuples.  The
+    callback owns the delivered-side accounting — it must charge
+    ``bulk_async(1, entry[0], delivered=True)`` when ``entry[0]`` is
+    nonzero (``bits`` is 0 for local self-deliveries, which are never
+    charged) *before* any crash-drop check, mirroring
+    :meth:`_deliver_one`.  Flattening the charge into the receiver saves
+    one Python frame per delivered message on the hottest path in the
+    asynchronous simulator.  :attr:`pooled` reports whether the fast
+    path is active (it also requires a delay model that does not inspect
+    messages).
     """
 
     def __init__(
@@ -117,12 +207,35 @@ class AsyncNetwork:
         rng: RandomSource,
         deliver: Callable[[Message], None],
         stats: MessageStats | None = None,
+        deliver_entry: Callable[[tuple], None] | None = None,
     ) -> None:
         self.queue = queue
         self.delay_model = delay_model
         self.rng = rng
         self._deliver = deliver
+        self._deliver_entry = deliver_entry
         self.stats = stats if stats is not None else MessageStats()
+        self.pooled = deliver_entry is not None and not delay_model.per_message
+
+    def reset(self, rng: RandomSource, stats: MessageStats) -> None:
+        """Point the network at a fresh run's RNG stream and stats ledger.
+
+        Everything else — queue, delay model, delivery callbacks — is
+        per-configuration state that a leased runner keeps across runs.
+        """
+        self.rng = rng
+        self.stats = stats
+
+    def set_deliver_entry(self, deliver_entry: Callable[[tuple], None]) -> None:
+        """Swap the pooled delivery action (runner wiring, per install).
+
+        In batched mode the runner points this straight at the columnar
+        table's ``deliver`` — one frame per delivered message; in
+        per-object mode at its own Message-materializing dispatcher.
+        Only valid when a ``deliver_entry`` was installed at
+        construction (the pooled flag never changes).
+        """
+        self._deliver_entry = deliver_entry
 
     def _deliver_one(self, entry: tuple[Message, int]) -> None:
         """Shared delivery action: charge the precomputed bits, hand over."""
@@ -143,6 +256,24 @@ class AsyncNetwork:
             raise ConfigurationError(f"delay model produced negative delay {delay}")
         self.queue.schedule(delay, self._deliver_one, (msg, bits))
 
+    def send_pooled(
+        self, sender: int, dest: int, round_no: int, payload: Any, tag: str
+    ) -> None:
+        """Pooled point-to-point send: no :class:`Message` construction.
+
+        Only valid while :attr:`pooled` is true; behaviourally identical
+        to :meth:`send` of the equivalent ASYNC message (same delay draw,
+        same accounting, same event ordering).
+        """
+        bits = async_bits(payload)
+        self.stats.bulk_async(1, bits)
+        delay = self.delay_model.delay(None, self.queue.now, self.rng)
+        if delay < 0:
+            raise ConfigurationError(f"delay model produced negative delay {delay}")
+        self.queue.schedule(
+            delay, self._deliver_entry, (bits, sender, dest, round_no, payload, tag)
+        )
+
     def broadcast(
         self,
         sender: int,
@@ -162,32 +293,61 @@ class AsyncNetwork:
         sender's own copy is delivered locally (zero delay, no wire, no
         accounting), matching
         :meth:`repro.asyncsim.process.ProcessContext.send`.
+
+        With the pooled path active, the fan-out schedules tuple entries
+        and constructs no messages at all; otherwise one ``Message`` per
+        destination rides each delivery event.
         """
         queue = self.queue
         schedule = queue.schedule
         model_delay = self.delay_model.delay
         rng = self.rng
         now = queue.now
-        deliver_one = self._deliver_one
         bits = -1
         sent = 0
         total_bits = 0
-        for dest in range(1, n + 1):
-            msg = Message(
-                MessageKind.ASYNC, sender, dest, round_no, payload=payload, tag=tag
-            )
-            if dest == sender:
-                schedule(0.0, local_deliver, msg)
-                continue
-            if bits < 0:
-                bits = msg.bits()
-            delay = model_delay(msg, now, rng)
-            if delay < 0:
+        if self.pooled:
+            bits = async_bits(payload)
+            # One bulk draw for the whole wire fan-out: identical RNG
+            # consumption to per-destination delay() calls, minus the
+            # per-call dispatch.
+            delays = self.delay_model.draw_many(n - 1, now, rng)
+            if delays and min(delays) < 0:
                 raise ConfigurationError(
-                    f"delay model produced negative delay {delay}"
+                    f"delay model produced negative delay {min(delays)}"
                 )
-            schedule(delay, deliver_one, (msg, bits))
-            sent += 1
-            total_bits += bits
+            # The sender's own copy slots into its in-order position at
+            # zero delay and zero charged bits (local, no wire).
+            delays.insert(sender - 1, 0.0)
+            entries = [
+                (bits, sender, dest, round_no, payload, tag)
+                if dest != sender
+                else (0, sender, dest, round_no, payload, tag)
+                for dest in range(1, n + 1)
+            ]
+            # The whole fan-out — self-delivery included — shares one
+            # action and one scheduling call.
+            queue.schedule_fanout(self._deliver_entry, delays, entries)
+            sent = n - 1
+            total_bits = sent * bits
+        else:
+            deliver_one = self._deliver_one
+            for dest in range(1, n + 1):
+                msg = Message(
+                    MessageKind.ASYNC, sender, dest, round_no, payload=payload, tag=tag
+                )
+                if dest == sender:
+                    schedule(0.0, local_deliver, msg)
+                    continue
+                if bits < 0:
+                    bits = msg.bits()
+                delay = model_delay(msg, now, rng)
+                if delay < 0:
+                    raise ConfigurationError(
+                        f"delay model produced negative delay {delay}"
+                    )
+                schedule(delay, deliver_one, (msg, bits))
+                sent += 1
+                total_bits += bits
         if sent:
             self.stats.bulk_async(sent, total_bits)

@@ -1,17 +1,44 @@
-"""Harness for asynchronous consensus runs (crash injection + spec checks)."""
+"""Harness for asynchronous consensus runs (crash injection + spec checks).
+
+The runner drives the protocol in one of two modes:
+
+* **per-object** (``batched=False``): every delivery dispatches through
+  the destination's :class:`AsyncProcess` handler — the reference path;
+* **batched columnar** (``batched=None`` auto-detects, ``True``
+  requires): when every process is of one exact type with a registered
+  :class:`~repro.asyncsim.process.AsyncBatchedTable` and the delay model
+  rides the pooled tuple path, deliveries go straight to the table as
+  raw ``(bits, sender, dest, round_no, payload, tag)`` entries — no
+  ``Message`` object is ever built — and the table re-evaluates progress
+  only on events that can unblock the destination.  Decisions are
+  mirrored back onto the process objects, and runs are byte-identical to
+  per-object mode (``tests/asyncsim/test_batched_async_parity.py``).
+
+A runner is **reusable**: :meth:`AsyncRunner.reset` rewires it for a
+fresh process list (same ``n``/``t``/delay model/detector spec) while
+keeping the event queue, network, detector, and per-pid contexts
+allocated — the engine-lease path of the scenario layer leans on this to
+amortize setup across sweep cells.  A reset runner is observably
+identical to a freshly constructed one.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.asyncsim.events import EventQueue
 from repro.asyncsim.failure_detector import DetectorSpec, SimulatedDiamondS
 from repro.asyncsim.network import AsyncNetwork, DelayModel, UniformDelay
-from repro.asyncsim.process import AsyncProcess, ProcessContext
+from repro.asyncsim.process import (
+    AsyncBatchedTable,
+    AsyncProcess,
+    ProcessContext,
+    async_table_for,
+)
 from repro.errors import ConfigurationError
 from repro.net.accounting import MessageStats
-from repro.net.message import Message
+from repro.net.message import Message, MessageKind
 from repro.util.rng import RandomSource
 
 __all__ = ["AsyncCrash", "AsyncRunResult", "AsyncRunner"]
@@ -79,20 +106,14 @@ class AsyncRunner:
         delay_model: DelayModel | None = None,
         detector_spec: DetectorSpec | None = None,
         rng: RandomSource | None = None,
+        batched: bool | None = None,
     ) -> None:
         if not processes:
             raise ConfigurationError("no processes")
         n = processes[0].n
-        if sorted(p.pid for p in processes) != list(range(1, n + 1)):
-            raise ConfigurationError("pids must be exactly 1..n")
         self.n = n
         self.t = t
-        self.procs: dict[int, AsyncProcess] = {p.pid: p for p in processes}
-        self.crashes = list(crashes)
-        if len({c.pid for c in self.crashes}) != len(self.crashes):
-            raise ConfigurationError("a process can crash only once")
-        if len(self.crashes) > t:
-            raise ConfigurationError(f"{len(self.crashes)} crashes but t={t}")
+        self._batched = batched
         self.rng = rng or RandomSource(0)
         self.queue = EventQueue()
         self.stats = MessageStats()
@@ -110,7 +131,31 @@ class AsyncRunner:
             self.rng.spawn("net"),
             self._deliver,
             stats=self.stats,
+            deliver_entry=self._deliver_entry,
         )
+        # Contexts depend only on (pid, n) and the long-lived wiring, so a
+        # reused runner hands the same context objects to fresh processes.
+        self._contexts = [
+            ProcessContext(pid, n, self.queue, self.network, self.detector, self._deliver)
+            for pid in range(1, n + 1)
+        ]
+        self._install(processes, crashes)
+
+    def _install(
+        self, processes: Sequence[AsyncProcess], crashes: Iterable[AsyncCrash]
+    ) -> None:
+        """Per-run wiring shared by construction and :meth:`reset`."""
+        n = self.n
+        if sorted(p.pid for p in processes) != list(range(1, n + 1)) or any(
+            p.n != n for p in processes
+        ):
+            raise ConfigurationError("pids must be exactly 1..n")
+        self.procs: dict[int, AsyncProcess] = {p.pid: p for p in processes}
+        self.crashes = list(crashes)
+        if len({c.pid for c in self.crashes}) != len(self.crashes):
+            raise ConfigurationError("a process can crash only once")
+        if len(self.crashes) > self.t:
+            raise ConfigurationError(f"{len(self.crashes)} crashes but t={self.t}")
         self._crashed: dict[int, float] = {}
         # Settled = decided or crashed.  Processes report decisions through
         # the settle hook and crashes drain through _crash(), so the run
@@ -119,11 +164,47 @@ class AsyncRunner:
         self._unsettled: set[int] = set(self.procs)
         for p in processes:
             p._settle_hook = self._unsettled.discard
-            p.attach(
-                ProcessContext(
-                    p.pid, n, self.queue, self.network, self.detector, self._deliver
+            p.attach(self._contexts[p.pid - 1])
+        self._table: AsyncBatchedTable | None = None
+        if self._batched is None or self._batched:
+            self._table = async_table_for(processes, self.network, self.detector)
+            if self._batched and self._table is None:
+                raise ConfigurationError(
+                    f"batched=True but {type(processes[0]).__name__} has no "
+                    f"registered async table (or the delay model is per_message)"
                 )
-            )
+        if self._table is not None:
+            # One frame per delivery: the table itself is the scheduled
+            # action; it owns the delivered-bits charge and the void drop.
+            self._table.bind_run(self.stats, self._crashed)
+            self.network.set_deliver_entry(self._table.deliver)
+        else:
+            self.network.set_deliver_entry(self._deliver_entry)
+
+    def reset(
+        self,
+        processes: Sequence[AsyncProcess],
+        *,
+        crashes: Iterable[AsyncCrash] = (),
+        rng: RandomSource | None = None,
+    ) -> "AsyncRunner":
+        """Rewire for a fresh run over ``processes``; return ``self``.
+
+        Reuses the event queue (rewound to time 0 with a restarted seq
+        counter), network, detector, and per-pid contexts; installs the
+        new RNG tree exactly as construction would (detector re-spawns
+        ``"fd"``, network gets ``spawn("net")``).  ``n``, ``t``, the
+        delay model, the detector spec, and the batched mode are fixed at
+        construction — reuse is only safe across runs of one scenario
+        configuration, which is what the engine lease keys on.
+        """
+        self.rng = rng or RandomSource(0)
+        self.queue.reset()
+        self.stats = MessageStats()
+        self.detector.reset(self.rng)
+        self.network.reset(self.rng.spawn("net"), self.stats)
+        self._install(processes, crashes)
+        return self
 
     # -- wiring callbacks -----------------------------------------------------
 
@@ -132,9 +213,39 @@ class AsyncRunner:
             return  # delivered into the void
         self.procs[msg.dest].on_message(msg)
 
+    def _deliver_entry(self, entry: tuple) -> None:
+        """Pooled delivery in per-object mode.
+
+        Scheduled directly as the delivery action by the network's pooled
+        path (batched runs schedule the table's ``deliver`` instead), so
+        the delivered-side accounting lands here — counters bumped in
+        place, one attribute write instead of a ``bulk_async`` frame —
+        *before* the crash check: a message into the void still counts as
+        delivered, exactly like the Message path's ``_deliver_one``.  The
+        one ``Message`` the handler expects is materialized after the
+        crash check, so messages into the void are never built at all.
+        """
+        bits = entry[0]
+        if bits:
+            stats = self.stats
+            stats.async_delivered += 1
+            stats.bits_delivered += bits
+        dest = entry[2]
+        if dest in self._crashed:
+            return
+        self.procs[dest].on_message(
+            Message(
+                MessageKind.ASYNC, entry[1], dest, entry[3],
+                payload=entry[4], tag=entry[5],
+            )
+        )
+
     def _on_fd_change(self, observer: int) -> None:
         if observer not in self._crashed:
-            self.procs[observer].on_fd_change()
+            if self._table is not None:
+                self._table.on_fd_change(observer)
+            else:
+                self.procs[observer].on_fd_change()
 
     def _crash(self, pid: int) -> None:
         if pid not in self._crashed:
@@ -146,7 +257,10 @@ class AsyncRunner:
         # A process crashed at time 0 (scheduled before the starts, hence
         # earlier in the queue) must never run its start handler.
         if pid not in self._crashed:
-            self.procs[pid].on_start()
+            if self._table is not None:
+                self._table.on_start(pid)
+            else:
+                self.procs[pid].on_start()
 
     # -- execution --------------------------------------------------------------
 
@@ -158,12 +272,9 @@ class AsyncRunner:
         for pid in self.rng.shuffle(sorted(self.procs)):
             self.queue.schedule(0.0, self._start_if_alive, pid)
 
-        unsettled = self._unsettled
-
-        def all_settled() -> bool:
-            return not unsettled
-
-        end = self.queue.run(until=until, max_events=max_events, stop=all_settled)
+        end = self.queue.run(
+            until=until, max_events=max_events, stop_set=self._unsettled
+        )
 
         return AsyncRunResult(
             n=self.n,

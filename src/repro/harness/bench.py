@@ -8,9 +8,9 @@ This module is the engine behind both entry points:
 
 Usage pattern:
 
-* ``bench --write-baseline BENCH_PR3.json`` measures the kernels and
+* ``bench --write-baseline BENCH_PR4.json`` measures the kernels and
   writes a machine-readable baseline;
-* ``bench --check-against BENCH_PR3.json`` compares fresh measurements
+* ``bench --check-against BENCH_PR4.json`` compares fresh measurements
   to a previously written baseline and exits non-zero when any kernel
   regressed beyond ``--tolerance`` (default 1.25 = +25%).
 
@@ -27,9 +27,13 @@ Kernels (via the scenario layer):
 * ``cascade_n128``    — crw n=128, f=16 coordinator-killer: 17 sparse
   rounds, the per-(process, round) overhead kernel;
 * ``async_mr99_n32``  — MR99 n=32, f=8 ◇S run: the event-queue /
-  delivery-scheduling kernel (PR 3's tuple-heap fast path);
+  delivery-scheduling kernel (PR 4's columnar table + pooled tuple
+  entries on top of PR 3's tuple heap);
 * ``ffd_n16``         — fast-failure-detector n=16, f=4: the timed-model
   kernel (fired-slot reconstruction + takeover grid);
+* ``lease_crw_n32_40c`` — 40 same-configuration cells through one
+  :class:`~repro.scenarios.execute.EngineLease`: the engine-reuse
+  kernel, gating the reset/cache path sweeps lean on;
 * ``sweep_*``         — ~1k-cell grid over the process-pool executor with
   JSONL persistence (``--quick`` shrinks it for CI).
 """
@@ -126,6 +130,18 @@ def _kernel_ffd_n16() -> None:
     assert record.spec_ok and record.f_actual == 4
 
 
+def _kernel_lease_crw_n32_40c() -> None:
+    from repro.scenarios import EngineLease, Scenario, execute
+
+    lease = EngineLease()
+    base = Scenario(algorithm="crw", n=32, t=31, f=4,
+                    adversary="coordinator-killer")
+    for seed in range(40):
+        record = execute(base.with_(seed=seed), lease=lease)
+        assert record.spec_ok
+    assert len(lease) == 1  # one configuration: 39 of 40 cells reset
+
+
 def _sweep_cells(quick: bool):
     from repro.scenarios import expand_grid
 
@@ -165,6 +181,9 @@ def measure(quick: bool) -> dict:
         "cascade_n128": _best_of(_kernel_cascade_n128, repeats=10, min_seconds=0.5),
         "async_mr99_n32": _best_of(_kernel_async_mr99_n32, repeats=5, min_seconds=0.5),
         "ffd_n16": _best_of(_kernel_ffd_n16, repeats=10, min_seconds=0.3),
+        "lease_crw_n32_40c": _best_of(
+            _kernel_lease_crw_n32_40c, repeats=5, min_seconds=0.3
+        ),
         # The serial sweep is core-count independent, so it gates across
         # hosts; the pool sweep's score scales with parallelism and is
         # gated only on a matching cpu_count (see compare()).

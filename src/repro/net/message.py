@@ -21,7 +21,25 @@ from typing import Any
 
 from repro.net.payload import bit_size
 
-__all__ = ["MessageKind", "Message"]
+__all__ = ["MessageKind", "Message", "ASYNC_HEADER_BITS", "async_bits"]
+
+#: Wire overhead of one asynchronous message: a 32-bit round header plus
+#: 8 bits of tag framing.  Asynchronous messages must carry their round
+#: number explicitly — Section 4 of the paper counts this as an intrinsic
+#: cost of asynchrony — so the header is charged on every ASYNC send.
+ASYNC_HEADER_BITS = 32 + 8
+
+
+def async_bits(payload: Any) -> int:
+    """Wire cost of one ASYNC message carrying ``payload``.
+
+    The single sizing authority for the asynchronous fast path: the
+    pooled (tuple-entry) delivery pipeline in
+    :mod:`repro.asyncsim.network` never materializes a :class:`Message`,
+    so it charges accounting through this helper instead of
+    :meth:`Message.bits`; the two are definitionally identical.
+    """
+    return bit_size(payload) + ASYNC_HEADER_BITS
 
 
 class MessageKind(enum.Enum):
@@ -78,7 +96,7 @@ class Message:
             return 1
         if self.kind is MessageKind.DATA:
             return bit_size(self.payload)
-        return bit_size(self.payload) + 32 + 8
+        return async_bits(self.payload)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         core = f"{self.kind.value}[r{self.round_no}] {self.sender}->{self.dest}"

@@ -21,7 +21,7 @@ control step suppressed.)
 See ``DESIGN.md`` for the layer inventory and extension guide.
 """
 
-from repro.scenarios.execute import delay_model_from, execute, resolved_t
+from repro.scenarios.execute import EngineLease, delay_model_from, execute, resolved_t
 from repro.scenarios.record import RunRecord, jsonable
 from repro.scenarios.registry import (
     ADVERSARIES,
@@ -49,6 +49,7 @@ __all__ = [
     "RunRecord",
     "jsonable",
     "execute",
+    "EngineLease",
     "resolved_t",
     "delay_model_from",
     "Registry",

@@ -24,7 +24,83 @@ from repro.scenarios.registry import ADVERSARIES, ALGORITHMS, WORKLOADS, Algorit
 from repro.scenarios.scenario import Scenario
 from repro.util.rng import RandomSource
 
-__all__ = ["execute", "resolved_t", "delay_model_from"]
+__all__ = ["execute", "resolved_t", "delay_model_from", "EngineLease"]
+
+
+class EngineLease:
+    """A cache of reusable engines, keyed by non-seed scenario configuration.
+
+    Per-run engine construction — process-table bookkeeping, schedule
+    maps, detector/network/context wiring on the asynchronous backend —
+    is a fixed cost that seed-dense sweeps pay thousands of times for
+    identically shaped runs.  A lease passed to :func:`execute` amortizes
+    it: the first run of a configuration builds its engine as usual, and
+    every later run with the same key **resets** that engine
+    (:meth:`repro.sync.engine.SynchronousEngine.reset` /
+    :meth:`repro.asyncsim.runner.AsyncRunner.reset`) instead of
+    rebuilding it.
+
+    The key is everything that shapes the engine except the seed: the
+    scenario's non-seed fields plus the ``trace``/``batched`` execute
+    flags.  Reset is pinned byte-identical to fresh construction
+    (``tests/scenarios/test_engine_reuse.py``), so leased and unleased
+    runs of any scenario produce the same record.
+
+    Leases are not thread-safe and not meant to cross process
+    boundaries; :class:`~repro.scenarios.sweep.SweepRunner` holds one per
+    worker chunk (and one for the whole serial pass).  The cache is a
+    small LRU (``MAX_ENTRIES``) so a sweep over many configurations
+    cannot grow it without bound.
+    """
+
+    #: Upper bound on cached engines; least-recently-used beyond this.
+    MAX_ENTRIES = 32
+
+    __slots__ = ("_engines",)
+
+    def __init__(self) -> None:
+        self._engines: dict[tuple, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    @staticmethod
+    def key_for(scenario: Scenario, trace: bool, batched: bool | None) -> tuple:
+        """The cache key: the full non-seed configuration, cheaply hashable.
+
+        ``repr`` flattens the (JSON-typed, possibly nested) dict fields
+        instead of ``to_json`` — an order of magnitude cheaper per cell,
+        and exact: two scenarios with equal reprs of their sorted items
+        are the same configuration.
+        """
+        return (
+            scenario.algorithm,
+            scenario.n,
+            scenario.t,
+            scenario.f,
+            scenario.adversary,
+            scenario.workload,
+            repr(sorted(scenario.workload_params.items())),
+            repr(sorted(scenario.timing.items())),
+            repr(sorted(scenario.params.items())),
+            scenario.max_rounds,
+            scenario.model,
+            trace,
+            batched,
+        )
+
+    def get(self, key: tuple) -> Any:
+        """The cached engine for ``key`` (refreshing LRU), or None."""
+        engine = self._engines.pop(key, None)
+        if engine is not None:
+            self._engines[key] = engine  # re-insert: most recently used
+        return engine
+
+    def put(self, key: tuple, engine: Any) -> None:
+        """Cache ``engine`` under ``key``, evicting the oldest past the cap."""
+        self._engines[key] = engine
+        if len(self._engines) > self.MAX_ENTRIES:
+            self._engines.pop(next(iter(self._engines)))
 
 
 def resolved_t(scenario: Scenario, algo: AlgorithmDef | None = None) -> int:
@@ -110,14 +186,23 @@ def _timed_crashes(scenario: Scenario, n: int, t: int, rng: RandomSource):
 
 
 def execute(
-    scenario: Scenario, *, trace: bool = False, batched: bool | None = None
+    scenario: Scenario,
+    *,
+    trace: bool = False,
+    batched: bool | None = None,
+    lease: EngineLease | None = None,
 ) -> RunRecord:
     """Run one scenario on its backend and return the normalized record.
 
-    ``batched`` is forwarded to the synchronous engines (None = auto:
-    step through the algorithm's columnar table when it registered one;
-    ``False`` forces per-process stepping — the batched parity grid
-    compares the two).  Continuous-time backends ignore it.
+    ``batched`` is forwarded to the engines (None = auto: step through
+    the algorithm's columnar table when it registered one; ``False``
+    forces per-process/per-object stepping — the batched parity grids
+    compare the two).  The ``ffd`` backend ignores it.
+
+    ``lease`` opts into engine reuse: runs whose non-seed configuration
+    matches a previous run through the same :class:`EngineLease` reset
+    that run's engine instead of constructing a new one.  Records are
+    identical either way; sweeps hold a lease per chunk.
     """
     algo = ALGORITHMS.get(scenario.algorithm)
     if scenario.model is not None and scenario.model != algo.backend:
@@ -140,9 +225,9 @@ def execute(
         )
 
     if algo.backend in ("extended", "classic"):
-        return _execute_sync(scenario, algo, n, t, proposals, rng, trace, batched)
+        return _execute_sync(scenario, algo, n, t, proposals, rng, trace, batched, lease)
     if algo.backend == "async":
-        return _execute_async(scenario, algo, n, t, proposals, rng)
+        return _execute_async(scenario, algo, n, t, proposals, rng, batched, lease)
     if algo.backend == "ffd":
         return _execute_ffd(scenario, algo, n, t, proposals, rng)
     raise ConfigurationError(f"unhandled backend {algo.backend!r}")  # pragma: no cover
@@ -162,6 +247,7 @@ def _execute_sync(
     rng: RandomSource,
     trace: bool,
     batched: bool | None = None,
+    lease: EngineLease | None = None,
 ) -> RunRecord:
     from repro.sync.engine import ClassicSynchronousEngine
     from repro.sync.extended import ExtendedSynchronousEngine
@@ -180,9 +266,21 @@ def _execute_sync(
     engine_cls = (
         ExtendedSynchronousEngine if algo.backend == "extended" else ClassicSynchronousEngine
     )
-    engine = engine_cls(
-        procs, schedule, t=t, rng=rng.spawn("engine"), trace=trace, batched=batched
-    )
+    engine = None
+    key: tuple | None = None
+    if lease is not None:
+        key = EngineLease.key_for(scenario, trace, batched)
+        engine = lease.get(key)
+    if engine is None:
+        engine = engine_cls(
+            procs, schedule, t=t, rng=rng.spawn("engine"), trace=trace, batched=batched
+        )
+        if lease is not None:
+            lease.put(key, engine)
+    else:
+        engine.reset(
+            procs, schedule, rng=rng.spawn("engine"), trace=trace, batched=batched
+        )
     result = engine.run(scenario.max_rounds)
 
     if algo.spec is not None:
@@ -225,6 +323,8 @@ def _execute_async(
     t: int,
     proposals: list[Any],
     rng: RandomSource,
+    batched: bool | None = None,
+    lease: EngineLease | None = None,
 ) -> RunRecord:
     from repro.asyncsim.failure_detector import DetectorSpec
     from repro.asyncsim.runner import AsyncCrash, AsyncRunner
@@ -235,20 +335,32 @@ def _execute_async(
         AsyncCrash(pid, time)
         for pid, time in _timed_crashes(scenario, n, t, rng.spawn("adversary"))
     ]
-    detector = DetectorSpec(
-        stabilization_time=float(timing.get("stabilization_time", 0.0)),
-        detection_latency=float(timing.get("detection_latency", 1.0)),
-        churn_rate=float(timing.get("churn_rate", 0.0)),
-        false_suspicion_duration=float(timing.get("false_suspicion_duration", 1.0)),
-    )
-    runner = AsyncRunner(
-        algo.factory(n, t, proposals, dict(scenario.params)),
-        t=t,
-        crashes=crashes,
-        delay_model=delay_model_from(timing),
-        detector_spec=detector,
-        rng=rng.spawn("engine"),
-    )
+    procs = algo.factory(n, t, proposals, dict(scenario.params))
+    runner = None
+    key: tuple | None = None
+    if lease is not None:
+        key = EngineLease.key_for(scenario, False, batched)
+        runner = lease.get(key)
+    if runner is None:
+        detector = DetectorSpec(
+            stabilization_time=float(timing.get("stabilization_time", 0.0)),
+            detection_latency=float(timing.get("detection_latency", 1.0)),
+            churn_rate=float(timing.get("churn_rate", 0.0)),
+            false_suspicion_duration=float(timing.get("false_suspicion_duration", 1.0)),
+        )
+        runner = AsyncRunner(
+            procs,
+            t=t,
+            crashes=crashes,
+            delay_model=delay_model_from(timing),
+            detector_spec=detector,
+            rng=rng.spawn("engine"),
+            batched=batched,
+        )
+        if lease is not None:
+            lease.put(key, runner)
+    else:
+        runner.reset(procs, crashes=crashes, rng=rng.spawn("engine"))
     result = runner.run(
         until=float(timing.get("until", 10_000.0)),
         max_events=int(timing.get("max_events", 2_000_000)),

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
-from repro.scenarios.execute import execute
+from repro.scenarios.execute import EngineLease, execute
 from repro.scenarios.record import RunRecord
 from repro.scenarios.registry import ADVERSARIES, ALGORITHMS
 from repro.scenarios.scenario import Scenario, scenario_key
@@ -131,17 +131,25 @@ def expand_grid(
 # -- process-pool workers (module level: must be picklable) -----------------
 
 
-def _run_cell(scenario_dict: dict[str, Any]) -> dict[str, Any]:
+def _run_cell(
+    scenario_dict: dict[str, Any], lease: EngineLease | None = None
+) -> dict[str, Any]:
     # trace=False pins sweep cells to the engines' allocation-free fast
     # path; per-event traces of thousands of cells would be pure overhead
     # (records are byte-identical either way — see the fast-path parity
     # grid in tests/sync/test_fastpath_parity.py).
-    record = execute(Scenario.from_dict(scenario_dict), trace=False)
+    record = execute(Scenario.from_dict(scenario_dict), trace=False, lease=lease)
     return record.to_dict()
 
 
 def _run_chunk(chunk: list[dict[str, Any]]) -> list[dict[str, Any]]:
-    return [_run_cell(cell) for cell in chunk]
+    # One engine lease per chunk: seed-dense grids re-run the same
+    # configuration cell after cell, so every cell past a chunk's first
+    # resets a cached engine instead of rebuilding factories and wiring.
+    # Records are identical with or without the lease (pinned by
+    # tests/scenarios/test_engine_reuse.py); worker-local, never pickled.
+    lease = EngineLease()
+    return [_run_cell(cell, lease) for cell in chunk]
 
 
 class SweepRunner:
@@ -287,8 +295,9 @@ class SweepRunner:
             if self.executor == "serial":
                 chunk_size = self._effective_chunk_size(len(pending), workers=1)
                 last_flush = time.monotonic()
+                lease = EngineLease()  # engine reuse across the whole pass
                 for scenario in pending:
-                    record_dict = _run_cell(scenario.to_dict())
+                    record_dict = _run_cell(scenario.to_dict(), lease)
                     done[scenario_key(scenario)] = record_dict
                     buffer.append(record_dict)
                     # Count-based flushing amortizes write+flush over fast

@@ -460,6 +460,24 @@ class SynchronousEngine:
         if not processes:
             raise ConfigurationError("no processes given")
         n = processes[0].n
+        self.n = n
+        self.t = n - 1 if t is None else t
+        if not 0 <= self.t < n:
+            raise ConfigurationError(f"t must satisfy 0 <= t < n, got t={self.t}, n={n}")
+        self._pids: frozenset[int] = frozenset(range(1, n + 1))
+        self._install(processes, schedule, rng=rng, trace=trace, batched=batched)
+
+    def _install(
+        self,
+        processes: list[SyncProcess],
+        schedule: CrashSchedule | None,
+        *,
+        rng: RandomSource | None,
+        trace: bool,
+        batched: bool | None,
+    ) -> None:
+        """Per-run wiring shared by construction and :meth:`reset`."""
+        n = self.n
         # One pass collects pids, the pid->proc map, and the proposal
         # snapshot; the sorted-pids comparison below then validates shape.
         procs: dict[int, SyncProcess] = {}
@@ -479,17 +497,19 @@ class SynchronousEngine:
             raise ConfigurationError(
                 f"processes must have pids exactly 1..n with a common n; got {pids}"
             )
-        self.n = n
-        self.t = n - 1 if t is None else t
-        if not 0 <= self.t < n:
-            raise ConfigurationError(f"t must satisfy 0 <= t < n, got t={self.t}, n={n}")
         self.procs = procs
         self.schedule = schedule if schedule is not None else CrashSchedule.none()
         self.schedule.validate(n, self.t)
+        if not self.allow_control:
+            for ev in self.schedule.events.values():
+                if ev.point is CrashPoint.DURING_CONTROL:
+                    raise ConfigurationError(
+                        f"p{ev.pid}: DURING_CONTROL crash point is not part of "
+                        f"the classic model"
+                    )
         self.rng = rng
         self.stats = MessageStats()
         self.trace = Trace(enabled=trace)
-        self._pids: frozenset[int] = frozenset(pids)
         self._active: set[int] = set(pids)
         self._active_order: list[int] = list(pids)  # kept sorted across steps
         self._crashes_by_round: dict[int, dict[int, CrashEvent]] = {}
@@ -510,6 +530,41 @@ class SynchronousEngine:
                     f"registered batched table"
                 )
         self._round = 0
+
+    def reset(
+        self,
+        processes: list[SyncProcess],
+        schedule: CrashSchedule | None = None,
+        *,
+        rng: RandomSource | None = None,
+        trace: bool = False,
+        batched: bool | None = None,
+    ) -> "SynchronousEngine":
+        """Rewire for a fresh run over ``processes``; return ``self``.
+
+        Reuses the engine skeleton — ``n``, ``t``, the model flags, the
+        valid-pid frozenset — and reinstalls everything per-run exactly
+        as construction would: new process table (same shape, freshly
+        constructed state), new schedule (re-validated), fresh stats,
+        trace, ledgers, round counter, and batched table.  A reset engine
+        produces byte-identical results to a freshly constructed one
+        (pinned by ``tests/scenarios/test_engine_reuse.py``); the
+        engine-lease path of the scenario layer leans on this to
+        amortize engine setup across the cells of a sweep chunk.
+
+        Note the default ``trace=False`` (construction defaults to
+        ``True``): reuse exists for sweep-style bulk execution, which
+        pins the allocation-free fast path.
+        """
+        if not processes:
+            raise ConfigurationError("no processes given")
+        if processes[0].n != self.n:
+            raise ConfigurationError(
+                f"reset() requires the constructed shape n={self.n}, "
+                f"got processes with n={processes[0].n}"
+            )
+        self._install(processes, schedule, rng=rng, trace=trace, batched=batched)
+        return self
 
     # -- stepping -----------------------------------------------------------
 
@@ -652,11 +707,3 @@ class ClassicSynchronousEngine(SynchronousEngine):
 
     model_name = "classic"
     allow_control = False
-
-    def __init__(self, *args: Any, **kwargs: Any) -> None:
-        super().__init__(*args, **kwargs)
-        for ev in self.schedule.events.values():
-            if ev.point is CrashPoint.DURING_CONTROL:
-                raise ConfigurationError(
-                    f"p{ev.pid}: DURING_CONTROL crash point is not part of the classic model"
-                )

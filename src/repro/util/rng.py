@@ -79,6 +79,18 @@ class RandomSource:
         """Label path from the root source."""
         return self._path
 
+    @property
+    def raw(self) -> random.Random:
+        """The underlying stdlib generator, for C-speed bulk draws.
+
+        Hot paths (the asynchronous network's delay fan-outs) draw from
+        it directly to skip the wrapper frame per draw; it is the same
+        stream the wrapper methods consume, so interleaving is safe.
+        Never reseed or replace it — that would break the labelled-stream
+        determinism contract.
+        """
+        return self._rng
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RandomSource(seed={self._seed}, path={'/'.join(self._path) or '<root>'})"
 

@@ -210,3 +210,152 @@ class TestCancellation:
         q.run()
         assert log == ["first"]
         assert q.executed == 1
+
+
+class TestClockMonotonicity:
+    """Regression: ``run(until=past)`` must never rewind the clock."""
+
+    def test_past_horizon_does_not_rewind_clock(self):
+        q = EventQueue()
+        q.schedule(15.0, lambda: None)
+        q.run()
+        assert q.now == 15.0
+        end = q.run(until=5.0)  # previously set _now = 5.0
+        assert end == 15.0
+        assert q.now == 15.0
+
+    def test_past_horizon_executes_nothing(self):
+        q = EventQueue()
+        log = []
+        q.schedule(15.0, lambda: log.append("x"))
+        q.run()
+        q.schedule(1.0, lambda: log.append("y"))  # due at t=16
+        q.run(until=3.0)  # horizon clamps to now=15; the t=16 event waits
+        assert log == ["x"]
+        assert len(q) == 1
+        assert q.run() == 16.0
+        assert log == ["x", "y"]
+
+    def test_now_never_decreases_across_runs(self):
+        q = EventQueue()
+        observed = []
+        for when in (1.0, 4.0, 9.0):
+            q.schedule_at(when, lambda: observed.append(q.now))
+        q.run(until=5.0)
+        for until in (2.0, 0.0, 5.0):
+            before = q.now
+            q.run(until=until)
+            assert q.now >= before
+        q.run()
+        assert observed == [1.0, 4.0, 9.0]
+
+    def test_horizon_still_advances_clock_forward(self):
+        # The normal case is untouched: stopping at a future horizon
+        # moves the clock to exactly the horizon.
+        q = EventQueue()
+        q.schedule(10.0, lambda: None)
+        assert q.run(until=4.0) == 4.0
+        assert q.now == 4.0
+
+
+class TestPerRunEventBudget:
+    """Regression: ``max_events`` is a per-``run()`` budget, not cumulative."""
+
+    def test_budget_not_charged_for_earlier_runs(self):
+        q = EventQueue()
+        for i in range(3):
+            q.schedule(float(i + 1), lambda: None)
+        q.run()  # 3 events executed
+        assert q.executed == 3
+        q.schedule(1.0, lambda: None)  # due at t=4: now is 3.0 after the run
+        # Previously raised immediately: cumulative executed (3) > 2.
+        assert q.run(max_events=2) == 4.0
+        assert q.executed == 4
+
+    def test_budget_is_exact_not_off_by_one(self):
+        def make_queue(k):
+            q = EventQueue()
+            for i in range(k):
+                q.schedule(float(i + 1), lambda: None)
+            return q
+
+        # Exactly max_events pending: drains cleanly.
+        q = make_queue(5)
+        q.run(max_events=5)
+        assert q.executed == 5 and len(q) == 0
+        # One more than the budget: raises, and the 6th event is *not*
+        # executed (previously a budget of 5 admitted a 6th event).
+        q = make_queue(6)
+        with pytest.raises(SimulationError):
+            q.run(max_events=5)
+        assert q.executed == 5
+        assert len(q) == 1  # the unexecuted event stays queued
+
+    def test_budget_raise_preserves_remaining_event(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(2.0, lambda: log.append("b"))
+        with pytest.raises(SimulationError):
+            q.run(max_events=1)
+        assert log == ["a"]
+        # The second event survived the raise and runs on the next call.
+        q.run(max_events=1)
+        assert log == ["a", "b"]
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            EventQueue().run(max_events=0)
+
+
+class TestStopSet:
+    def test_stops_when_collection_drains(self):
+        q = EventQueue()
+        waiting = {1, 2}
+        log = []
+        q.schedule(1.0, lambda: (log.append("a"), waiting.discard(1)))
+        q.schedule(2.0, lambda: (log.append("b"), waiting.discard(2)))
+        q.schedule(3.0, lambda: log.append("c"))
+        q.run(stop_set=waiting)
+        assert log == ["a", "b"]  # stop checked between events
+        assert len(q) == 1
+
+    def test_empty_stop_set_runs_nothing(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run(stop_set=set())
+        assert q.executed == 0 and len(q) == 1
+
+
+class TestReset:
+    def test_reset_restores_fresh_state(self):
+        q = EventQueue()
+        token = q.schedule(5.0, lambda: None)
+        q.schedule(1.0, lambda: None)
+        q.cancel(token)
+        q.run()
+        assert q.now == 1.0 and q.executed == 1
+        q.reset()
+        assert q.now == 0.0 and q.executed == 0 and len(q) == 0
+        # Seq restarts: tokens are allocated exactly like a fresh queue's.
+        fresh = EventQueue()
+        assert q.schedule(1.0, lambda: None) == fresh.schedule(1.0, lambda: None)
+
+    def test_fanout_matches_individual_schedules(self):
+        empty = EventQueue()
+        empty.schedule_fanout(lambda _: None, [], [])  # empty fanout is a no-op
+        assert len(empty) == 0
+
+        a = EventQueue()
+        log_a: list = []
+        a.schedule_fanout(log_a.append, [2.0, 1.0, 1.0], ["x", "y", "z"])
+        a.schedule(1.5, log_a.append, "w")
+        a.run()
+        b = EventQueue()
+        log_b: list = []
+        for delay, arg in ((2.0, "x"), (1.0, "y"), (1.0, "z")):
+            b.schedule(delay, log_b.append, arg)
+        b.schedule(1.5, log_b.append, "w")
+        b.run()
+        # Same times, same insertion-order tie-breaks, same interleaving.
+        assert log_a == log_b == ["y", "z", "w", "x"]

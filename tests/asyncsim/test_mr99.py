@@ -164,3 +164,81 @@ class TestIndulgence:
             seed=seed,
         )
         assert result.check_consensus() == [], result.decisions
+
+
+class TestDecideFloodRound:
+    """Regression: the DECIDE flood must carry the original deciding round."""
+
+    class _FakeCtx:
+        """Just enough ProcessContext for one handler invocation."""
+
+        def __init__(self, n):
+            self.n = n
+            self.now = 42.0
+            self.broadcasts = []
+
+        def broadcast(self, tag, payload, round_no=0):
+            self.broadcasts.append((tag, payload, round_no))
+
+        def suspects(self, pid):
+            return False
+
+    def test_flood_learner_records_original_round(self):
+        from repro.net.message import Message, MessageKind
+
+        p = MR99Consensus(2, 5, 100, t=2)
+        p.ctx = self._FakeCtx(5)
+        # p sits in round 1; a DECIDE from a process that decided in
+        # round 7 arrives through the flood.
+        p.on_message(Message(MessageKind.ASYNC, 4, 2, 7, payload=104, tag="DECIDE"))
+        assert p.decided and p.decision == 104
+        # Previously: decision_round == p.r == 1 (the relayer's own round).
+        assert p.decision_round == 7
+
+    def test_relay_propagates_round_unchanged(self):
+        from repro.net.message import Message, MessageKind
+
+        p = MR99Consensus(3, 5, 100, t=2)
+        p.ctx = self._FakeCtx(5)
+        p.on_message(Message(MessageKind.ASYNC, 4, 3, 7, payload=104, tag="DECIDE"))
+        assert p.ctx.broadcasts == [("DECIDE", 104, 7)]
+
+    def test_run_level_flood_round_consistency(self):
+        # Slow heavy-tailed delays + a mid-protocol crash: laggards learn
+        # through the flood.  Every process must record the same deciding
+        # round as the originator (pre-fix, learners stamped their own).
+        result = run_mr99(
+            5,
+            t=2,
+            crashes=[AsyncCrash(3, 1.0)],
+            delay_model=LogNormalDelay(mu=0.5, sigma=1.0),
+            seed=9,
+        )
+        assert result.check_consensus() == []
+        assert len(set(result.decision_rounds.values())) == 1
+
+    def test_flood_round_consistency_across_seeds(self):
+        spec = DetectorSpec(
+            stabilization_time=15.0,
+            detection_latency=1.0,
+            churn_rate=1.0,
+            false_suspicion_duration=2.0,
+        )
+        for seed in range(10):
+            result = run_mr99(
+                5,
+                t=2,
+                crashes=[AsyncCrash(1, 0.0), AsyncCrash(5, 3.0)],
+                delay_model=GstDelay(gst=15.0, wild=5.0, bound=1.0),
+                detector_spec=spec,
+                seed=seed,
+            )
+            assert result.check_consensus() == []
+            assert len(set(result.decisions.values())) == 1
+            # One decision propagated by the flood: every learner records
+            # the originator's round (pre-fix these scenarios produced
+            # two or three distinct recorded rounds).
+            assert len(set(result.decision_rounds.values())) == 1, (
+                seed,
+                result.decision_rounds,
+            )
