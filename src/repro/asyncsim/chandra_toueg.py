@@ -39,6 +39,7 @@ from repro.asyncsim.network import AsyncNetwork
 from repro.asyncsim.process import AsyncBatchedTable, AsyncProcess, register_async_table
 from repro.errors import ConfigurationError
 from repro.net.message import Message
+from repro.util.tables import fill_column, refill_column
 
 __all__ = ["ChandraTouegConsensus", "ChandraTouegTable"]
 
@@ -245,6 +246,26 @@ class ChandraTouegTable(AsyncBatchedTable):
         detector: SimulatedDiamondS,
     ) -> "ChandraTouegTable":
         return cls(processes, network, detector)
+
+    supports_refill = True
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        """Re-arm every column to the fresh-process state (est = proposal)."""
+        refill_column(self.est, proposals)
+        fill_column(self.ts, 0)
+        fill_column(self.r, 1)
+        fill_column(self.decided, False)
+        fill_column(self.est_sent, 0)
+        fill_column(self.vote_sent, 0)
+        fill_column(self.try_sent, 0)
+        fill_column(self.sent_decide, False)
+        fill_column(self.rounds_executed, 0)
+        for column in (
+            self.my_try, self.estimates, self.votes, self.ack_counts, self.trybuf
+        ):
+            for buffered in column:
+                buffered.clear()
+        return True
 
     # -- event handlers ------------------------------------------------------
 

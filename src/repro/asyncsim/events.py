@@ -20,6 +20,17 @@ heap is compacted eagerly once more than half of it is dead — so a
 protocol that schedules many timers and cancels most of them no longer
 leaks heap space until drain.  ``executed`` counts exactly the actions
 that ran: tombstoned entries never increment it.
+
+Same-instant delivery runs are additionally *blocked*:
+:meth:`EventQueue.schedule_fanout` folds every maximal run of equal
+delays into **one** heap entry carrying the whole argument list (the
+entry still owns one ``seq`` per item, so global ordering is untouched).
+A constant-delay broadcast of ``n`` messages then costs one heap push
+and one pop instead of ``n`` of each, and :meth:`run` drains the block's
+items in a single dispatch frame — checking the stop predicates and the
+event budget *between items*, exactly as the unblocked loop would, so
+blocked and per-entry executions are observably identical down to the
+``executed`` counter.
 """
 
 from __future__ import annotations
@@ -31,6 +42,11 @@ from repro.errors import ConfigurationError, SimulationError
 
 __all__ = ["EventQueue"]
 
+#: Action-slot marker for fanout block entries.  A block's ``arg`` is
+#: ``(action, args)``: the shared real action plus the argument list of a
+#: same-instant run whose seqs are ``entry_seq .. entry_seq + len(args) - 1``.
+_FANOUT_BLOCK = object()
+
 
 class EventQueue:
     """A deterministic simulated-time event loop.
@@ -41,7 +57,10 @@ class EventQueue:
     are bare tuples.
     """
 
-    __slots__ = ("_heap", "_seq", "_now", "_pending", "_cancelled", "_dead", "executed")
+    __slots__ = (
+        "_heap", "_seq", "_now", "_pending", "_cancelled", "_dead",
+        "_blocked_extra", "executed",
+    )
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Callable[..., None], Any]] = []
@@ -50,6 +69,7 @@ class EventQueue:
         self._pending: set[int] = set()  # cancellable entries still in the heap
         self._cancelled: set[int] = set()  # tombstones: seqs to drop unrun
         self._dead = 0  # tombstoned entries still sitting in the heap
+        self._blocked_extra = 0  # events beyond the first inside fanout blocks
         self.executed = 0
 
     @property
@@ -69,6 +89,7 @@ class EventQueue:
         self._pending.clear()
         self._cancelled.clear()
         self._dead = 0
+        self._blocked_extra = 0
         self._seq = 0
         self._now = 0.0
         self.executed = 0
@@ -99,6 +120,7 @@ class EventQueue:
         action: Callable[..., None],
         delays: Sequence[float],
         args: Sequence[Any],
+        grouped: bool = False,
     ) -> None:
         """Schedule ``action(args[k])`` after ``delays[k]``, for every ``k``.
 
@@ -112,16 +134,47 @@ class EventQueue:
         Fan-out entries are **not cancellable**: no tokens are returned,
         so their seqs skip the ``_pending`` book-keeping entirely (one
         set insert per delivery saved; ``cancel`` on such a seq is a
-        no-op by the existing unknown-token rule, and ``__len__`` counts
-        heap minus tombstones, which is unaffected).
+        no-op by the existing unknown-token rule).
+
+        With ``grouped=True``, maximal runs of *equal consecutive delays*
+        — the whole fan-out, for a constant-delay model — become one
+        **block** heap entry holding the run's argument list.  Seq
+        assignment is unchanged (the block owns one seq per item), and no
+        other entry can carry a seq inside the block's range, so the heap
+        pops blocks exactly where the per-entry loop would have popped
+        their first item and :meth:`run` drains the items in first-seq
+        order: executions are observably identical, at one heap push/pop
+        per *run* instead of per event.  Callers pass ``grouped`` from
+        knowledge of the delay source (the network forwards its model's
+        :attr:`~repro.asyncsim.network.DelayModel.same_instant_fanouts`):
+        scanning for runs that random delay draws almost never produce
+        would tax the common path for nothing.
         """
         heap = self._heap
         push = heapq.heappush
         now = self._now
         seq = self._seq
-        for delay, arg in zip(delays, args):
-            push(heap, (now + delay, seq, action, arg))
-            seq += 1
+        if not grouped:
+            for delay, arg in zip(delays, args):
+                push(heap, (now + delay, seq, action, arg))
+                seq += 1
+            self._seq = seq
+            return
+        i = 0
+        total = len(delays)
+        while i < total:
+            delay = delays[i]
+            j = i + 1
+            while j < total and delays[j] == delay:
+                j += 1
+            if j - i == 1:
+                push(heap, (now + delay, seq, action, args[i]))
+                seq += 1
+            else:
+                push(heap, (now + delay, seq, _FANOUT_BLOCK, (action, args[i:j])))
+                seq += j - i
+                self._blocked_extra += j - i - 1
+            i = j
         self._seq = seq
 
     def schedule_at(
@@ -141,6 +194,23 @@ class EventQueue:
         self._pending.add(seq)
         heapq.heappush(self._heap, (time, seq, action, arg))
         return seq
+
+    def _requeue_block(
+        self, when: float, first_seq: int, action: Callable[..., None], items: Sequence[Any]
+    ) -> None:
+        """Put an interrupted fanout block's unexecuted tail back in the heap.
+
+        The tail keeps its original seq range (``first_seq`` onward), so a
+        later :meth:`run` drains it exactly where the per-entry loop would
+        have resumed; a single-item tail degenerates to a plain entry.
+        """
+        if len(items) == 1:
+            heapq.heappush(self._heap, (when, first_seq, action, items[0]))
+        else:
+            heapq.heappush(
+                self._heap, (when, first_seq, _FANOUT_BLOCK, (action, items))
+            )
+            self._blocked_extra += len(items) - 1
 
     def cancel(self, seq: int) -> None:
         """Revoke the event with token ``seq`` (idempotent).
@@ -240,6 +310,46 @@ class EventQueue:
                     raise SimulationError(
                         f"event budget exceeded ({max_events}); runaway protocol?"
                     )
+                if action is _FANOUT_BLOCK:
+                    # Same-instant fanout run: drain the items in one
+                    # dispatch frame.  Stop predicates and the budget are
+                    # re-checked between items — an item that settles the
+                    # run (or exhausts the budget) leaves the remainder
+                    # queued as a smaller block, exactly like unexecuted
+                    # per-entry events.  Block items are never cancellable
+                    # and never in ``pending``, so those checks are skipped.
+                    real_action, items = arg
+                    count = len(items)
+                    self._blocked_extra -= count - 1
+                    self._now = when
+                    idx = 0
+                    # The first unconsumed item, maintained so that *any*
+                    # exit — stop break, budget raise, or an exception out
+                    # of a handler — requeues exactly the tail the
+                    # per-entry loop would have left in the heap (a
+                    # raising handler consumes its own item there too).
+                    resume_from = 0
+                    try:
+                        while idx < count:
+                            resume_from = idx
+                            if (not stop_set) or (stop is not None and stop()):
+                                break
+                            if ran >= max_events:
+                                raise SimulationError(
+                                    f"event budget exceeded ({max_events}); "
+                                    f"runaway protocol?"
+                                )
+                            resume_from = idx + 1
+                            real_action(items[idx])
+                            idx += 1
+                            ran += 1
+                    finally:
+                        if resume_from < count:
+                            self._requeue_block(
+                                when, seq + resume_from, real_action,
+                                items[resume_from:],
+                            )
+                    continue
                 if pending:
                     pending.discard(seq)
                 self._now = when
@@ -256,5 +366,5 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        """Pending live (non-tombstoned) entries."""
-        return len(self._heap) - self._dead
+        """Pending live (non-tombstoned) events, counting every block item."""
+        return len(self._heap) - self._dead + self._blocked_extra

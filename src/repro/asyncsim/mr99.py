@@ -41,6 +41,7 @@ from repro.asyncsim.network import AsyncNetwork
 from repro.asyncsim.process import AsyncBatchedTable, AsyncProcess, register_async_table
 from repro.errors import ConfigurationError
 from repro.net.message import Message
+from repro.util.tables import fill_column, refill_column
 
 __all__ = ["MR99Consensus", "MR99Table", "BOT"]
 
@@ -49,6 +50,11 @@ class _Bot:
     """The ⊥ placeholder (a process saw no coordinator estimate)."""
 
     _instance = None
+
+    #: Protocol marker consumed by :func:`repro.scenarios.record.jsonable`:
+    #: ⊥ sentinels are recognized by this attribute, not by their repr, so
+    #: a user payload that happens to print as "⊥" is never swallowed.
+    __consensus_bottom__ = True
 
     def __new__(cls):
         if cls._instance is None:
@@ -231,6 +237,23 @@ class MR99Table(AsyncBatchedTable):
         detector: SimulatedDiamondS,
     ) -> "MR99Table":
         return cls(processes, network, detector)
+
+    supports_refill = True
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        """Re-arm every column to the fresh-process state (est = proposal)."""
+        refill_column(self.est, proposals)
+        fill_column(self.r, 1)
+        fill_column(self.phase, 1)
+        fill_column(self.decided, False)
+        fill_column(self.est_sent, 0)
+        fill_column(self.aux_sent, 0)
+        fill_column(self.rounds_executed, 0)
+        for buffered in self.est_from_coord:
+            buffered.clear()
+        for buffered in self.aux:
+            buffered.clear()
+        return True
 
     # -- event handlers ------------------------------------------------------
 

@@ -64,6 +64,13 @@ class DelayModel(abc.ABC):
 
     per_message: bool = True
 
+    #: Whether a fan-out's wire deliveries all land at the same instant
+    #: (every draw from one ``draw_many`` call is the same value).  The
+    #: network forwards this to ``EventQueue.schedule_fanout(grouped=...)``
+    #: so constant-delay broadcasts collapse into one same-instant block
+    #: heap entry; random models keep the scan-free per-entry path.
+    same_instant_fanouts: bool = False
+
     @abc.abstractmethod
     def delay(self, msg: Message | None, now: float, rng: RandomSource) -> float:
         """Delay (>= 0) to apply to ``msg`` sent at time ``now``."""
@@ -85,6 +92,7 @@ class ConstantDelay(DelayModel):
     """Every message takes exactly ``value`` time units."""
 
     per_message = False  # pure function of nothing: pooled path eligible
+    same_instant_fanouts = True  # every fan-out draw is the same value
 
     value: float = 1.0
 
@@ -326,8 +334,13 @@ class AsyncNetwork:
                 for dest in range(1, n + 1)
             ]
             # The whole fan-out — self-delivery included — shares one
-            # action and one scheduling call.
-            queue.schedule_fanout(self._deliver_entry, delays, entries)
+            # action and one scheduling call; constant-delay models
+            # additionally collapse the same-instant wire run into one
+            # block heap entry.
+            queue.schedule_fanout(
+                self._deliver_entry, delays, entries,
+                grouped=self.delay_model.same_instant_fanouts,
+            )
             sent = n - 1
             total_bits = sent * bits
         else:

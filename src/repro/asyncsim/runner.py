@@ -141,6 +141,25 @@ class AsyncRunner:
         ]
         self._install(processes, crashes)
 
+    def _checked_crashes(self, crashes: Iterable[AsyncCrash]) -> list[AsyncCrash]:
+        """Validate a run's crash list (shared by install and refill)."""
+        crash_list = list(crashes)
+        if len({c.pid for c in crash_list}) != len(crash_list):
+            raise ConfigurationError("a process can crash only once")
+        if len(crash_list) > self.t:
+            raise ConfigurationError(f"{len(crash_list)} crashes but t={self.t}")
+        return crash_list
+
+    def _rearm(self, rng: RandomSource | None) -> None:
+        """Reset the long-lived wiring for a fresh run (reset and refill):
+        new RNG tree installed exactly as construction would, queue rewound,
+        fresh stats ledger handed to detector and network."""
+        self.rng = rng or RandomSource(0)
+        self.queue.reset()
+        self.stats = MessageStats()
+        self.detector.reset(self.rng)
+        self.network.reset(self.rng.spawn("net"), self.stats)
+
     def _install(
         self, processes: Sequence[AsyncProcess], crashes: Iterable[AsyncCrash]
     ) -> None:
@@ -151,11 +170,7 @@ class AsyncRunner:
         ):
             raise ConfigurationError("pids must be exactly 1..n")
         self.procs: dict[int, AsyncProcess] = {p.pid: p for p in processes}
-        self.crashes = list(crashes)
-        if len({c.pid for c in self.crashes}) != len(self.crashes):
-            raise ConfigurationError("a process can crash only once")
-        if len(self.crashes) > self.t:
-            raise ConfigurationError(f"{len(self.crashes)} crashes but t={self.t}")
+        self.crashes = self._checked_crashes(crashes)
         self._crashed: dict[int, float] = {}
         # Settled = decided or crashed.  Processes report decisions through
         # the settle hook and crashes drain through _crash(), so the run
@@ -198,13 +213,57 @@ class AsyncRunner:
         construction — reuse is only safe across runs of one scenario
         configuration, which is what the engine lease keys on.
         """
-        self.rng = rng or RandomSource(0)
-        self.queue.reset()
-        self.stats = MessageStats()
-        self.detector.reset(self.rng)
-        self.network.reset(self.rng.spawn("net"), self.stats)
+        self._rearm(rng)
         self._install(processes, crashes)
         return self
+
+    def refill(
+        self,
+        proposals: Sequence[Any],
+        *,
+        crashes: Iterable[AsyncCrash] = (),
+        rng: RandomSource | None = None,
+    ) -> bool:
+        """Rearm for a fresh run **without** a new process list.
+
+        The factory-free sibling of :meth:`reset`: when the runner steps
+        through a batched table advertising ``refill``
+        (:attr:`~repro.asyncsim.process.AsyncBatchedTable.supports_refill`),
+        the table's columns are rewritten in place from ``proposals``, the
+        retained process objects are re-armed as decision mirrors
+        (decision slots cleared, ``proposal`` updated — their other
+        protocol attributes keep the previous run's values; the table is
+        authoritative), and queue/network/detector/stats are reset exactly
+        as :meth:`reset` would.  Returns False (taking no action) when no
+        refillable table is installed; callers then fall back to the
+        factory + :meth:`reset` path.  Refilled runs are byte-identical
+        to fresh ones (``tests/scenarios/test_columnar_parity.py``).
+        """
+        table = self._table
+        if table is None or not table.supports_refill:
+            return False
+        if len(proposals) != self.n:
+            raise ConfigurationError(
+                f"refill() needs {self.n} proposals, got {len(proposals)}"
+            )
+        crash_list = self._checked_crashes(crashes)
+        if not table.refill(proposals):
+            return False
+        self._rearm(rng)
+        self.crashes = crash_list
+        self._crashed.clear()
+        # The settle hooks bind the *existing* unsettled set's discard, so
+        # the set is repopulated in place rather than replaced.
+        self._unsettled.clear()
+        self._unsettled.update(self.procs)
+        for pid, proc in self.procs.items():
+            proc._decided = False
+            proc._decision = None
+            proc._decision_time = 0.0
+            proc._decision_round = 0
+            proc.proposal = proposals[pid - 1]
+        table.bind_run(self.stats, self._crashed)
+        return True
 
     # -- wiring callbacks -----------------------------------------------------
 

@@ -43,6 +43,7 @@ from repro.sync.api import (
     SyncProcess,
     register_batched_table,
 )
+from repro.util.tables import fill_column, refill_column
 
 __all__ = ["EarlyStoppingConsensus"]
 
@@ -118,6 +119,16 @@ class _EarlyStoppingTable(BatchedAlgorithm):
     @classmethod
     def from_processes(cls, processes: Sequence[SyncProcess]) -> "_EarlyStoppingTable":
         return cls(processes)
+
+    supports_refill = True
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        # Fresh state: est = proposal, early unset, nbr[0] = n; the horizon
+        # and destination tuples are configuration, kept as-is.
+        refill_column(self.est, proposals, offset=1)
+        fill_column(self.early, False, offset=1)
+        fill_column(self.prev_nbr, self.n, offset=1)
+        return True
 
     def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
         est = self.est

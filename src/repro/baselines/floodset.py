@@ -117,6 +117,18 @@ class _FloodSetTable(BatchedAlgorithm):
     def from_processes(cls, processes: Sequence[SyncProcess]) -> "_FloodSetTable":
         return cls(processes)
 
+    supports_refill = True
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        # A fresh FloodSet process starts with W = new = {proposal}; the
+        # horizon and destination tuples are configuration, kept as-is.
+        known = self.known
+        new = self.new
+        for pid, proposal in enumerate(proposals, start=1):
+            known[pid] = {proposal}
+            new[pid] = {proposal}
+        return True
+
     def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
         plans: dict[int, SendPlan] = {}
         horizon = self.horizon

@@ -44,6 +44,10 @@ class _Bottom:
 
     _instance = None
 
+    #: Protocol marker consumed by :func:`repro.scenarios.record.jsonable`
+    #: (see :class:`repro.asyncsim.mr99._Bot` for the rationale).
+    __consensus_bottom__ = True
+
     def __new__(cls):
         if cls._instance is None:
             cls._instance = super().__new__(cls)

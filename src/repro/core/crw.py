@@ -51,6 +51,7 @@ from repro.sync.api import (
     SyncProcess,
     register_batched_table,
 )
+from repro.util.tables import refill_column
 
 __all__ = ["CRWConsensus", "CRWTable"]
 
@@ -131,6 +132,15 @@ class CRWTable(BatchedAlgorithm):
         for p in processes:
             est[p.pid] = p.est
         return cls(processes[0].n, est)
+
+    supports_refill = True
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        # A fresh Figure-1 process is just est = proposal; the est column
+        # is the table's only run-varying state (ablation subclasses reuse
+        # this — their extra behaviour lives in the hooks, not in state).
+        refill_column(self.est, proposals, offset=1)
+        return True
 
     def send_phase_all(self, round_no: int, active: Sequence[int]) -> dict[int, SendPlan]:
         if active and active[0] < round_no:

@@ -36,6 +36,7 @@ from repro.sync.api import (
     SyncProcess,
     register_batched_table,
 )
+from repro.util.tables import refill_column
 
 __all__ = ["EagerCRW", "TruncatedCRW", "IncreasingCommitCRW", "FullBroadcastCRW", "SilentProcess"]
 
@@ -230,7 +231,15 @@ class _FullBroadcastCRWTable(CRWTable):
 class _TruncatedCRWTable(BatchedAlgorithm):
     """Columnar TruncatedCRW: ``est`` plus the per-process deadline ``k``."""
 
+    supports_refill = True
+
     __slots__ = ("n", "est", "k")
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        # The deadline column ``k`` is configuration (params + t), fixed
+        # across a lease; only the estimates vary run to run.
+        refill_column(self.est, proposals, offset=1)
+        return True
 
     def __init__(self, n: int, est: list[Any], k: list[int]) -> None:
         self.n = n
@@ -287,7 +296,12 @@ class _TruncatedCRWTable(BatchedAlgorithm):
 class _SilentTable(BatchedAlgorithm):
     """Silent processes: all-NO_SEND plans, no decisions, no state."""
 
+    supports_refill = True
+
     __slots__ = ()
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        return True  # stateless: nothing to rewrite
 
     @classmethod
     def from_processes(cls, processes: Sequence[SyncProcess]) -> "_SilentTable":

@@ -8,9 +8,9 @@ This module is the engine behind both entry points:
 
 Usage pattern:
 
-* ``bench --write-baseline BENCH_PR4.json`` measures the kernels and
+* ``bench --write-baseline BENCH_PR5.json`` measures the kernels and
   writes a machine-readable baseline;
-* ``bench --check-against BENCH_PR4.json`` compares fresh measurements
+* ``bench --check-against BENCH_PR5.json`` compares fresh measurements
   to a previously written baseline and exits non-zero when any kernel
   regressed beyond ``--tolerance`` (default 1.25 = +25%).
 
@@ -29,11 +29,18 @@ Kernels (via the scenario layer):
 * ``async_mr99_n32``  — MR99 n=32, f=8 ◇S run: the event-queue /
   delivery-scheduling kernel (PR 4's columnar table + pooled tuple
   entries on top of PR 3's tuple heap);
+* ``async_mr99_const_n32`` — the same run under a constant delay model:
+  every broadcast's deliveries land at one instant, so this is the
+  same-instant-heavy kernel gating PR 5's fanout-block event queue (one
+  heap entry and one dispatch frame per same-instant delivery run);
 * ``ffd_n16``         — fast-failure-detector n=16, f=4: the timed-model
   kernel (fired-slot reconstruction + takeover grid);
 * ``lease_crw_n32_40c`` — 40 same-configuration cells through one
   :class:`~repro.scenarios.execute.EngineLease`: the engine-reuse
   kernel, gating the reset/cache path sweeps lean on;
+* ``sweep_serial_256c`` — a 256-cell serial grid with JSONL persistence:
+  the sweep data-path throughput kernel (PR 5's columnar record
+  pipeline — normalized records, batch persistence, key-indexed resume);
 * ``sweep_*``         — ~1k-cell grid over the process-pool executor with
   JSONL persistence (``--quick`` shrinks it for CI).
 """
@@ -122,6 +129,15 @@ def _kernel_async_mr99_n32() -> None:
     assert record.spec_ok and record.f_actual == 8
 
 
+def _kernel_async_mr99_const_n32() -> None:
+    from repro.scenarios import Scenario, execute
+
+    record = execute(Scenario(algorithm="mr99", n=32, f=8,
+                              adversary="coordinator-killer", seed=0,
+                              timing={"delay": "constant", "value": 1.0}))
+    assert record.spec_ok and record.f_actual == 8
+
+
 def _kernel_ffd_n16() -> None:
     from repro.scenarios import Scenario, execute
 
@@ -168,6 +184,21 @@ def _kernel_sweep(quick: bool, executor: str) -> None:
         assert len(records) == len(cells) and runner.executed == len(cells)
 
 
+def _kernel_sweep_serial_256c() -> None:
+    """Sweep data-path throughput: 256 serial cells, JSONL persisted."""
+    from repro.scenarios import SweepRunner, expand_grid
+
+    cells = expand_grid(["crw", "early-stopping"], [16],
+                        adversaries=("coordinator-killer",), seeds=8)
+    assert len(cells) == 256
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = SweepRunner(
+            cells, executor="serial", jsonl_path=os.path.join(tmp, "sweep.jsonl")
+        )
+        records = runner.run()
+        assert len(records) == 256 and runner.executed == 256
+
+
 def measure(quick: bool) -> dict:
     """Measure all kernels; returns the baseline document.
 
@@ -180,9 +211,15 @@ def measure(quick: bool) -> dict:
         "one_round_n64": _best_of(_kernel_one_round_n64, repeats=10, min_seconds=0.3),
         "cascade_n128": _best_of(_kernel_cascade_n128, repeats=10, min_seconds=0.5),
         "async_mr99_n32": _best_of(_kernel_async_mr99_n32, repeats=5, min_seconds=0.5),
+        "async_mr99_const_n32": _best_of(
+            _kernel_async_mr99_const_n32, repeats=5, min_seconds=0.5
+        ),
         "ffd_n16": _best_of(_kernel_ffd_n16, repeats=10, min_seconds=0.3),
         "lease_crw_n32_40c": _best_of(
             _kernel_lease_crw_n32_40c, repeats=5, min_seconds=0.3
+        ),
+        "sweep_serial_256c": _best_of(
+            _kernel_sweep_serial_256c, repeats=3, min_seconds=0.5
         ),
         # The serial sweep is core-count independent, so it gates across
         # hosts; the pool sweep's score scales with parallelism and is

@@ -207,15 +207,20 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
         processes=args.jobs,
         chunk_size=args.chunk_size,
         jsonl_path=args.jsonl,
+        writer=args.writer,
     )
     records = runner.run()
     summaries = summarize_records(records)
+    # Throughput summary: executed cells over the wall clock of run().
+    cells_per_s = runner.executed / runner.elapsed if runner.elapsed > 0 else 0.0
     if args.json:
         print(json.dumps(
             {
                 "cells": len(cells),
                 "executed": runner.executed,
                 "resumed": runner.resumed,
+                "elapsed_s": runner.elapsed,
+                "cells_per_s": cells_per_s,
                 "records": [r.to_dict() for r in records],
             },
             sort_keys=True,
@@ -236,6 +241,10 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
                 "ok" if row.spec_ok else "VIOLATED",
             )
         print(table.to_ascii())
+        print(
+            f"progress: {runner.executed} executed in {runner.elapsed:.2f}s "
+            f"({cells_per_s:.0f} cells/s), {runner.resumed} resumed"
+        )
     return 0 if all(r.spec_ok for r in records) else 1
 
 
@@ -362,6 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--chunk-size", type=int, default=None,
                       help="cells per worker task (default: auto-tuned)")
     p_sw.add_argument("--jsonl", default=None, help="JSONL persistence/resume file")
+    p_sw.add_argument("--writer", choices=("columnar", "legacy"), default="columnar",
+                      help="JSONL layout: one batch line per chunk (columnar, "
+                      "default) or one record line per cell (legacy); resume "
+                      "reads both")
     p_sw.add_argument("--json", action="store_true", help="machine-readable output")
     p_sw.set_defaults(func=_cmd_scenario_sweep)
 

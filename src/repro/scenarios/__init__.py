@@ -22,7 +22,7 @@ See ``DESIGN.md`` for the layer inventory and extension guide.
 """
 
 from repro.scenarios.execute import EngineLease, delay_model_from, execute, resolved_t
-from repro.scenarios.record import RunRecord, jsonable
+from repro.scenarios.record import RecordBatch, RunRecord, jsonable
 from repro.scenarios.registry import (
     ADVERSARIES,
     ALGORITHMS,
@@ -35,7 +35,12 @@ from repro.scenarios.registry import (
     register_algorithm,
     register_workload,
 )
-from repro.scenarios.scenario import Scenario, scenario_key
+from repro.scenarios.scenario import (
+    Scenario,
+    apply_scenario_delta,
+    scenario_delta,
+    scenario_key,
+)
 from repro.scenarios.sweep import (
     CellSummary,
     SweepRunner,
@@ -46,7 +51,10 @@ from repro.scenarios.sweep import (
 __all__ = [
     "Scenario",
     "scenario_key",
+    "scenario_delta",
+    "apply_scenario_delta",
     "RunRecord",
+    "RecordBatch",
     "jsonable",
     "execute",
     "EngineLease",

@@ -262,7 +262,6 @@ def _execute_sync(
             f"adversary {adversary_name!r} has no synchronous crash plan"
         )
     schedule = adv.make_sync(scenario.f).schedule(n, t, rng.spawn("adversary"))
-    procs = algo.factory(n, t, proposals, dict(scenario.params))
     engine_cls = (
         ExtendedSynchronousEngine if algo.backend == "extended" else ClassicSynchronousEngine
     )
@@ -271,16 +270,25 @@ def _execute_sync(
     if lease is not None:
         key = EngineLease.key_for(scenario, trace, batched)
         engine = lease.get(key)
-    if engine is None:
-        engine = engine_cls(
-            procs, schedule, t=t, rng=rng.spawn("engine"), trace=trace, batched=batched
-        )
-        if lease is not None:
-            lease.put(key, engine)
-    else:
-        engine.reset(
-            procs, schedule, rng=rng.spawn("engine"), trace=trace, batched=batched
-        )
+    # A leased engine with a refillable batched table takes the run with
+    # no process construction at all: the table columns are rewritten in
+    # place from the proposals.  Only when that is declined does the
+    # n-object factory run (fresh construction or full reset).
+    if engine is None or not engine.refill(
+        proposals, schedule, rng=rng.spawn("engine"), trace=trace
+    ):
+        procs = algo.factory(n, t, proposals, dict(scenario.params))
+        if engine is None:
+            engine = engine_cls(
+                procs, schedule, t=t, rng=rng.spawn("engine"), trace=trace,
+                batched=batched,
+            )
+            if lease is not None:
+                lease.put(key, engine)
+        else:
+            engine.reset(
+                procs, schedule, rng=rng.spawn("engine"), trace=trace, batched=batched
+            )
     result = engine.run(scenario.max_rounds)
 
     if algo.spec is not None:
@@ -335,32 +343,40 @@ def _execute_async(
         AsyncCrash(pid, time)
         for pid, time in _timed_crashes(scenario, n, t, rng.spawn("adversary"))
     ]
-    procs = algo.factory(n, t, proposals, dict(scenario.params))
     runner = None
     key: tuple | None = None
     if lease is not None:
         key = EngineLease.key_for(scenario, False, batched)
         runner = lease.get(key)
-    if runner is None:
-        detector = DetectorSpec(
-            stabilization_time=float(timing.get("stabilization_time", 0.0)),
-            detection_latency=float(timing.get("detection_latency", 1.0)),
-            churn_rate=float(timing.get("churn_rate", 0.0)),
-            false_suspicion_duration=float(timing.get("false_suspicion_duration", 1.0)),
-        )
-        runner = AsyncRunner(
-            procs,
-            t=t,
-            crashes=crashes,
-            delay_model=delay_model_from(timing),
-            detector_spec=detector,
-            rng=rng.spawn("engine"),
-            batched=batched,
-        )
-        if lease is not None:
-            lease.put(key, runner)
-    else:
-        runner.reset(procs, crashes=crashes, rng=rng.spawn("engine"))
+    # Mirror of the synchronous path: a leased runner with a refillable
+    # columnar table reruns the configuration without constructing a
+    # single process object.
+    if runner is None or not runner.refill(
+        proposals, crashes=crashes, rng=rng.spawn("engine")
+    ):
+        procs = algo.factory(n, t, proposals, dict(scenario.params))
+        if runner is None:
+            detector = DetectorSpec(
+                stabilization_time=float(timing.get("stabilization_time", 0.0)),
+                detection_latency=float(timing.get("detection_latency", 1.0)),
+                churn_rate=float(timing.get("churn_rate", 0.0)),
+                false_suspicion_duration=float(
+                    timing.get("false_suspicion_duration", 1.0)
+                ),
+            )
+            runner = AsyncRunner(
+                procs,
+                t=t,
+                crashes=crashes,
+                delay_model=delay_model_from(timing),
+                detector_spec=detector,
+                rng=rng.spawn("engine"),
+                batched=batched,
+            )
+            if lease is not None:
+                lease.put(key, runner)
+        else:
+            runner.reset(procs, crashes=crashes, rng=rng.spawn("engine"))
     result = runner.run(
         until=float(timing.get("until", 10_000.0)),
         max_events=int(timing.get("max_events", 2_000_000)),

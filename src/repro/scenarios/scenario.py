@@ -23,7 +23,13 @@ from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Scenario", "scenario_key"]
+__all__ = [
+    "Scenario",
+    "scenario_key",
+    "scenario_delta",
+    "apply_scenario_delta",
+    "SCENARIO_FIELDS",
+]
 
 
 @dataclass(frozen=True)
@@ -148,3 +154,74 @@ class Scenario:
 def scenario_key(scenario: Scenario) -> str:
     """Canonical string identity of a scenario (JSONL resume key)."""
     return scenario.to_json()
+
+
+#: Field names of :class:`Scenario`, in declaration order (delta helpers
+#: iterate this instead of rediscovering the dataclass shape per cell).
+SCENARIO_FIELDS: tuple[str, ...] = tuple(Scenario.__dataclass_fields__)
+
+
+def _same_wire_value(a: Any, b: Any) -> bool:
+    """Type-exact equality for delta elision.
+
+    Plain ``==`` is too loose for a wire format: ``1 == 1.0 == True`` and
+    ``(1, 2) == [1, 2]``, yet the variants serialize (and resume-key)
+    differently — eliding such a field would rebuild the cell with the
+    *base's* spelling and silently change its canonical key.  A field is
+    droppable only when every element matches in concrete type and value.
+    """
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(
+            _same_wire_value(v, b[k]) for k, v in a.items()
+        )
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(map(_same_wire_value, a, b))
+    return a == b
+
+
+def scenario_delta(base: Scenario | None, cell: Scenario) -> dict[str, Any]:
+    """The **CellDelta** wire form of ``cell``: fields differing from ``base``.
+
+    Grid cells differ from a shared base in a handful of fields (typically
+    just the seed, sometimes ``f``/``n``/``algorithm``), so shipping one
+    base-scenario dict plus per-cell deltas replaces a full scenario dict
+    per cell — both across the process-pool boundary and in the columnar
+    JSONL lines.  Field values are compared directly on the dataclass (no
+    ``asdict`` materialization), with concrete types respected (see
+    :func:`_same_wire_value`); ``base=None`` yields the full dict.
+    ``apply_scenario_delta`` is the exact inverse.
+    """
+    if base is None:
+        return cell.to_dict()
+    delta = {
+        name: getattr(cell, name)
+        for name in SCENARIO_FIELDS
+        if not _same_wire_value(getattr(cell, name), getattr(base, name))
+    }
+    # Dict-valued fields are snapshotted so a wire/JSONL payload can never
+    # alias live scenario state (scalars are immutable already).
+    for name in ("workload_params", "timing", "params"):
+        if name in delta:
+            delta[name] = dict(delta[name])
+    return delta
+
+
+def apply_scenario_delta(
+    base: Scenario | None, delta: Mapping[str, Any]
+) -> Scenario:
+    """Rebuild the scenario a :func:`scenario_delta` described.
+
+    With a ``base``, the delta's fields replace the base's (re-running
+    scenario validation through ``with_``); without one the delta must be
+    a full scenario dict.
+    """
+    if base is None:
+        return Scenario.from_dict(delta)
+    if not delta:
+        return base
+    unknown = set(delta) - set(SCENARIO_FIELDS)
+    if unknown:
+        raise ConfigurationError(f"unknown scenario keys: {sorted(unknown)}")
+    return base.with_(**delta)

@@ -5,24 +5,43 @@ executes them under a chosen executor:
 
 * ``"serial"`` — in-process loop (debuggable, zero overhead);
 * ``"process"`` — a ``multiprocessing`` pool, scenarios chunked so each
-  worker task amortizes pickling over ``chunk_size`` cells.  Scenarios
-  cross the process boundary as plain dicts; workers resolve names
-  against the registries their own import of :mod:`repro.scenarios`
-  built, so custom entries must be registered at module import time.
+  worker task amortizes pickling over ``chunk_size`` cells.  Workers
+  resolve names against the registries their own import of
+  :mod:`repro.scenarios` built, so custom entries must be registered at
+  module import time.
 
-With a ``jsonl_path`` every finished record is appended as one JSON line
-(scenario + record), and a rerun **resumes**: cells whose canonical
-scenario key already appears in the file are loaded instead of re-run.
+The data path is columnar end to end (PR 5).  Two independent knobs keep
+the legacy one-dict-per-cell shapes available for comparison:
+
+* ``wire`` — how cells cross the process-pool boundary.  ``"delta"``
+  (default) ships one shared base-scenario dict plus compact per-cell
+  :func:`CellDelta <repro.scenarios.scenario.scenario_delta>` dicts and
+  receives one :class:`~repro.scenarios.record.RecordBatch` payload per
+  chunk; ``"dict"`` ships full scenario dicts and receives one record
+  dict per cell.
+* ``writer`` — the JSONL persistence layout.  ``"columnar"`` (default)
+  appends one ``{"batch": ...}`` line per flushed chunk (a single encode
+  pass over the batch payload); ``"legacy"`` appends one
+  ``{"record": ...}`` line per cell.  **Resume reads both layouts
+  regardless of the writer**, so files may mix them across reruns.
+
+With a ``jsonl_path`` every finished record is persisted, and a rerun
+**resumes**: cells whose canonical scenario key already appears in the
+file are loaded instead of re-run.  The resume index is built without
+re-instantiating a :class:`Scenario` per line — the canonical key of a
+stored scenario dict is just its sorted-key JSON dump, and malformed or
+foreign lines produce keys no pending cell can match (torn final lines
+from an interrupted sweep fail JSON decoding and are skipped outright).
 Writes are buffered and flushed once per completed chunk rather than per
-record (a per-record ``write``+``flush`` dominates sweep wall-clock on
-fast cells); interrupting a sweep therefore loses at most the in-flight
+record; interrupting a sweep therefore loses at most the in-flight
 chunk — the same durability unit the process pool already had.  Serial
 sweeps additionally flush every :attr:`SweepRunner.FLUSH_INTERVAL_S`
 seconds, so slow cells keep near-per-record durability.
 
-Results come back in input order regardless of executor, so
-``serial`` and ``process`` sweeps of the same grid are equal record for
-record (pinned by ``tests/scenarios/test_sweep.py``).
+Results come back in input order regardless of executor, wire format, and
+writer, and are byte-identical across all of them (pinned by
+``tests/scenarios/test_sweep.py`` and
+``tests/scenarios/test_columnar_parity.py``).
 """
 
 from __future__ import annotations
@@ -36,9 +55,9 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
 from repro.scenarios.execute import EngineLease, execute
-from repro.scenarios.record import RunRecord
+from repro.scenarios.record import RecordBatch, RunRecord
 from repro.scenarios.registry import ADVERSARIES, ALGORITHMS
-from repro.scenarios.scenario import Scenario, scenario_key
+from repro.scenarios.scenario import Scenario, scenario_delta, scenario_key
 
 __all__ = ["SweepRunner", "expand_grid", "CellSummary", "summarize_records"]
 
@@ -142,14 +161,54 @@ def _run_cell(
     return record.to_dict()
 
 
-def _run_chunk(chunk: list[dict[str, Any]]) -> list[dict[str, Any]]:
+def _run_chunk(task: tuple[int, list[dict[str, Any]]]) -> tuple[int, list[dict[str, Any]]]:
     # One engine lease per chunk: seed-dense grids re-run the same
     # configuration cell after cell, so every cell past a chunk's first
     # resets a cached engine instead of rebuilding factories and wiring.
     # Records are identical with or without the lease (pinned by
     # tests/scenarios/test_engine_reuse.py); worker-local, never pickled.
+    # The chunk index rides along so the parent can map results back to
+    # the scenarios (and keys) it dispatched without re-parsing them.
+    idx, chunk = task
     lease = EngineLease()
-    return [_run_cell(cell, lease) for cell in chunk]
+    return idx, [_run_cell(cell, lease) for cell in chunk]
+
+
+def _run_chunk_delta(
+    task: tuple[int, dict[str, Any], list[dict[str, Any]]],
+) -> tuple[int, dict[str, Any]]:
+    """Delta-wire worker: base scenario + CellDeltas in, one batch payload out.
+
+    The base scenario is materialized once; each cell is its ``with_``
+    variation, so no per-cell ``Scenario.from_dict`` validation pass runs
+    in the worker, and the whole chunk's records return as one columnar
+    :class:`~repro.scenarios.record.RecordBatch` payload instead of one
+    dict per cell.
+    """
+    idx, base_dict, deltas = task
+    base = Scenario.from_dict(base_dict)
+    lease = EngineLease()
+    batch = RecordBatch()
+    for delta in deltas:
+        cell = base.with_(**delta) if delta else base
+        batch.append(execute(cell, trace=False, lease=lease).normalized())
+    return idx, batch.to_payload(base_dict)
+
+
+def _dict_key(scenario_dict: Any) -> str | None:
+    """Canonical resume key of a stored scenario dict, or None if unkeyable.
+
+    For any dict that round-tripped through :meth:`Scenario.to_dict` this
+    equals ``scenario_key(Scenario.from_dict(d))`` — a sorted-key JSON
+    dump — without paying a Scenario construction per line.  Foreign or
+    malformed dicts either fail the dump (None) or produce a key that no
+    pending cell can match, which re-runs the cell exactly like the old
+    validating loader did.
+    """
+    try:
+        return json.dumps(scenario_dict, sort_keys=True)
+    except (TypeError, ValueError):
+        return None
 
 
 class SweepRunner:
@@ -172,6 +231,13 @@ class SweepRunner:
     jsonl_path:
         Append-mode persistence file; pre-existing lines are treated as
         completed cells (resume).
+    writer:
+        JSONL layout: ``"columnar"`` (default, one batch line per flush)
+        or ``"legacy"`` (one record line per cell).  Resume reads both.
+    wire:
+        Process-pool cell format: ``"delta"`` (default, base + CellDeltas
+        out / batch payload back) or ``"dict"`` (full scenario dicts out /
+        record dicts back).  Serial sweeps never serialize cells at all.
     """
 
     #: Serial executor: flush the JSONL buffer at least this often even
@@ -187,11 +253,21 @@ class SweepRunner:
         processes: int | None = None,
         chunk_size: int | None = None,
         jsonl_path: str | os.PathLike[str] | None = None,
+        writer: str = "columnar",
+        wire: str = "delta",
     ) -> None:
         self.scenarios = list(scenarios)
         if executor not in ("serial", "process"):
             raise ConfigurationError(
                 f"unknown executor {executor!r}; available: serial, process"
+            )
+        if writer not in ("columnar", "legacy"):
+            raise ConfigurationError(
+                f"unknown writer {writer!r}; available: columnar, legacy"
+            )
+        if wire not in ("delta", "dict"):
+            raise ConfigurationError(
+                f"unknown wire format {wire!r}; available: delta, dict"
             )
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -201,15 +277,29 @@ class SweepRunner:
         self.processes = processes
         self.chunk_size = chunk_size
         self.jsonl_path = os.fspath(jsonl_path) if jsonl_path is not None else None
+        self.writer = writer
+        self.wire = wire
         #: Cells actually executed by the last :meth:`run` (excludes resumed).
         self.executed = 0
         #: Cells loaded from the JSONL file by the last :meth:`run`.
         self.resumed = 0
+        #: Wall-clock seconds spent inside the last :meth:`run`.
+        self.elapsed = 0.0
 
     # -- persistence -------------------------------------------------------
 
-    def _load_done(self) -> dict[str, dict[str, Any]]:
-        done: dict[str, dict[str, Any]] = {}
+    def _load_done(self) -> dict[str, Any]:
+        """Resume index: canonical scenario key → stored record.
+
+        Reads both line layouts — ``{"record": row}`` (legacy, stored as
+        the raw row dict and decoded lazily at collection) and
+        ``{"batch": payload}`` (columnar, stored directly as normalized
+        :class:`RunRecord` objects) — keyed without constructing a
+        Scenario per line (see :func:`_dict_key`).  Unreadable lines
+        (torn tail of an interrupted sweep, foreign JSONL) are skipped;
+        their cells simply re-run.
+        """
+        done: dict[str, Any] = {}
         if self.jsonl_path is None or not os.path.exists(self.jsonl_path):
             return done
         with open(self.jsonl_path, "r", encoding="utf-8") as fh:
@@ -224,27 +314,49 @@ class SweepRunner:
                 if not isinstance(entry, dict):
                     continue  # foreign JSONL: valid JSON but not an object
                 record = entry.get("record")
-                if not isinstance(record, dict) or "scenario" not in record:
+                if isinstance(record, dict) and "scenario" in record:
+                    key = _dict_key(record["scenario"])
+                    if key is not None:
+                        done[key] = record
                     continue
-                try:
-                    key = Scenario.from_dict(record["scenario"]).to_json()
-                except ConfigurationError:
-                    continue  # foreign/incompatible line: re-run that cell
-                done[key] = record
+                payload = entry.get("batch")
+                if isinstance(payload, dict):
+                    try:
+                        records = RecordBatch.from_payload(payload).to_records()
+                        base = payload["base"]
+                        deltas = payload["cells"]
+                    except (ConfigurationError, IndexError, KeyError,
+                            TypeError, ValueError):
+                        continue  # foreign/incompatible batch: re-run its cells
+                    # Stored straight as normalized records (no dict round
+                    # trip); the key of base|delta is the record scenario's
+                    # canonical key without an asdict pass per cell.
+                    for delta, record in zip(deltas, records):
+                        key = _dict_key({**base, **delta})
+                        if key is not None:
+                            done[key] = record
         return done
 
-    @staticmethod
-    def _flush(fh, buffer: list[dict[str, Any]]) -> None:
-        """Write buffered records as one syscall-sized append, then flush."""
+    def _flush(self, fh, buffer: list[RunRecord]) -> None:
+        """Persist buffered records as one syscall-sized append, then flush.
+
+        The columnar writer encodes the whole buffer as one batch line
+        (a single ``json.dumps`` pass); the legacy writer emits one
+        ``{"record": ...}`` line per record.
+        """
         if fh is None or not buffer:
             buffer.clear()
             return
-        fh.write(
-            "".join(
-                json.dumps({"record": record}, sort_keys=True) + "\n"
-                for record in buffer
+        if self.writer == "columnar":
+            payload = RecordBatch.from_records(buffer).to_payload()
+            fh.write(json.dumps({"batch": payload}, sort_keys=True) + "\n")
+        else:
+            fh.write(
+                "".join(
+                    json.dumps({"record": record.to_dict()}, sort_keys=True) + "\n"
+                    for record in buffer
+                )
             )
-        )
         fh.flush()
         buffer.clear()
 
@@ -265,41 +377,53 @@ class SweepRunner:
         per_worker = -(-pending_count // (workers * 4))  # ceil division
         return max(8, min(64, per_worker))
 
-    def _chunks(
-        self, cells: list[dict[str, Any]], chunk_size: int
-    ) -> Iterator[list[dict[str, Any]]]:
+    def _chunks(self, cells: list, chunk_size: int) -> Iterator[list]:
         for i in range(0, len(cells), chunk_size):
             yield cells[i : i + chunk_size]
 
     def run(self) -> list[RunRecord]:
         """Run every pending cell; return records for *all* cells, in order."""
+        started = time.perf_counter()
         done = self._load_done()
+        keys = [scenario_key(s) for s in self.scenarios]
         pending: list[Scenario] = []
-        pending_keys: set[str] = set()
+        pending_keys: list[str] = []
+        seen_pending: set[str] = set()
         resumed_keys: set[str] = set()
-        for s in self.scenarios:
-            key = scenario_key(s)
+        for s, key in zip(self.scenarios, keys):
             if key in done:
                 resumed_keys.add(key)
-            elif key not in pending_keys:  # duplicate cells run once
+            elif key not in seen_pending:  # duplicate cells run once
                 pending.append(s)
-                pending_keys.add(key)
+                pending_keys.append(key)
+                seen_pending.add(key)
         self.resumed = len(resumed_keys)
         self.executed = 0
 
         fh = None
         if self.jsonl_path is not None:
             fh = open(self.jsonl_path, "a", encoding="utf-8")
-        buffer: list[dict[str, Any]] = []
+            # Heal a torn tail before appending: a sweep killed mid-write
+            # leaves a partial final line, and appending straight after it
+            # would glue the first new record onto the garbage — losing a
+            # whole fresh chunk on the *next* resume.  A newline turns the
+            # torn fragment into its own (skippable) line instead.
+            size = os.path.getsize(self.jsonl_path)
+            if size:
+                with open(self.jsonl_path, "rb") as tail:
+                    tail.seek(size - 1)
+                    if tail.read(1) != b"\n":
+                        fh.write("\n")
+        buffer: list[RunRecord] = []
         try:
             if self.executor == "serial":
                 chunk_size = self._effective_chunk_size(len(pending), workers=1)
                 last_flush = time.monotonic()
                 lease = EngineLease()  # engine reuse across the whole pass
-                for scenario in pending:
-                    record_dict = _run_cell(scenario.to_dict(), lease)
-                    done[scenario_key(scenario)] = record_dict
-                    buffer.append(record_dict)
+                for scenario, key in zip(pending, pending_keys):
+                    record = execute(scenario, trace=False, lease=lease).normalized()
+                    done[key] = record
+                    buffer.append(record)
                     # Count-based flushing amortizes write+flush over fast
                     # cells; the time trigger bounds how much work an
                     # interrupted sweep of *slow* cells can lose.
@@ -311,29 +435,67 @@ class SweepRunner:
                         last_flush = time.monotonic()
                     self.executed += 1
             else:
-                self._run_pool(pending, done, fh, buffer)
+                self._run_pool(pending, pending_keys, done, fh, buffer)
         finally:
             self._flush(fh, buffer)
             if fh is not None:
                 fh.close()
+            self.elapsed = time.perf_counter() - started
 
-        return [RunRecord.from_dict(done[scenario_key(s)]) for s in self.scenarios]
+        # Fresh cells are already normalized records; resumed cells decode
+        # from their stored rows here (once, at collection).  Duplicate
+        # cells get an independent copy per position — callers could
+        # mutate one occurrence's containers in place, and aliasing would
+        # silently edit the others.
+        out: list[RunRecord] = []
+        emitted: set[str] = set()
+        for key in keys:
+            value = done[key]
+            if not isinstance(value, RunRecord):
+                value = done[key] = RunRecord.from_dict(value)
+            if key in emitted:
+                value = value.normalized()  # fresh containers, equal value
+            else:
+                emitted.add(key)
+            out.append(value)
+        return out
 
-    def _run_pool(self, pending, done, fh, buffer) -> None:
+    def _run_pool(self, pending, pending_keys, done, fh, buffer) -> None:
         import multiprocessing
 
         if not pending:
             return
         workers = self.processes or os.cpu_count() or 2
         chunk_size = self._effective_chunk_size(len(pending), workers)
-        chunks = list(self._chunks([s.to_dict() for s in pending], chunk_size))
-        workers = max(1, min(workers, len(chunks)))
+        key_chunks = list(self._chunks(pending_keys, chunk_size))
+        if self.wire == "delta":
+            # One shared base per chunk (its first cell); every other cell
+            # crosses the pool boundary as a compact CellDelta.
+            tasks = []
+            for idx, chunk in enumerate(self._chunks(pending, chunk_size)):
+                base = chunk[0]
+                tasks.append((
+                    idx,
+                    base.to_dict(),
+                    [scenario_delta(base, cell) for cell in chunk],
+                ))
+            worker = _run_chunk_delta
+        else:
+            tasks = [
+                (idx, [cell.to_dict() for cell in chunk])
+                for idx, chunk in enumerate(self._chunks(pending, chunk_size))
+            ]
+            worker = _run_chunk
+        workers = max(1, min(workers, len(tasks)))
         with multiprocessing.Pool(processes=workers) as pool:
-            for chunk_result in pool.imap_unordered(_run_chunk, chunks):
-                for record_dict in chunk_result:
-                    key = Scenario.from_dict(record_dict["scenario"]).to_json()
-                    done[key] = record_dict
-                    buffer.append(record_dict)
+            for idx, result in pool.imap_unordered(worker, tasks):
+                if self.wire == "delta":
+                    records = RecordBatch.from_payload(result).to_records()
+                else:
+                    records = [RunRecord.from_dict(row) for row in result]
+                for key, record in zip(key_chunks[idx], records):
+                    done[key] = record
+                    buffer.append(record)
                     self.executed += 1
                 self._flush(fh, buffer)  # one append+flush per finished chunk
 
@@ -363,40 +525,74 @@ class CellSummary:
     mean_sim_time: float | None = None
 
 
-def summarize_records(records: Iterable[RunRecord]) -> list[CellSummary]:
+def _group_key(s: Scenario) -> tuple:
+    """Cheap full non-seed configuration key, same partition as the old
+    per-record JSON config dump.
+
+    The dict-valued fields are keyed by their canonical JSON (not
+    ``repr``): a summary may mix records built from live scenarios with
+    records resumed through ``json.loads``, and JSON-equivalent values —
+    a tuple-valued param vs its decoded list — must land in one group,
+    exactly as the full config dump merged them.  The dicts are almost
+    always empty, so this stays far cheaper than the Scenario copy + full
+    JSON dump per record it replaced.
+    """
+    return (
+        s.algorithm,
+        s.n,
+        s.t,
+        s.f,
+        s.adversary,
+        s.workload,
+        json.dumps(s.workload_params, sort_keys=True),
+        json.dumps(s.timing, sort_keys=True),
+        json.dumps(s.params, sort_keys=True),
+        s.max_rounds,
+        s.model,
+    )
+
+
+def summarize_records(
+    records: Iterable[RunRecord] | RecordBatch,
+) -> list[CellSummary]:
     """Group records by cell (everything but the seed) and aggregate.
 
-    Cells differing only in workload/timing/params get separate rows
-    (their displayed columns may coincide; the averages never mix).
+    Accepts any record iterable or a :class:`RecordBatch` (aggregated
+    straight off its columns).  Cells differing only in
+    workload/timing/params get separate rows (their displayed columns may
+    coincide; the averages never mix).  Grouping runs over cheap
+    per-record tuples; the canonical non-seed config JSON — previously
+    recomputed per *record* as a Scenario copy plus a JSON dump per
+    cell — is computed once per **group**, only to order the output rows
+    exactly as before.
     """
+    if isinstance(records, RecordBatch):
+        records = records.to_records()
     groups: dict[tuple, list[RunRecord]] = {}
     for record in records:
-        s = record.scenario
-        key = (
-            s.algorithm, s.n, s.t, s.f, s.adversary,
+        groups.setdefault(_group_key(record.scenario), []).append(record)
+    ordered = sorted(
+        groups.values(),
+        key=lambda group: (
+            (s := group[0].scenario).algorithm,
+            s.n,
+            -1 if s.t is None else s.t,  # t=None ("auto") sorts first
+            s.f,
+            s.adversary,
             s.with_(seed=0).to_json(),  # the full non-seed configuration
-        )
-        groups.setdefault(key, []).append(record)
-    out = []
-    for (algorithm, n, t, f, adversary, _config), group in sorted(
-        groups.items(),
-        key=lambda kv: (
-            kv[0][0],
-            kv[0][1],
-            -1 if kv[0][2] is None else kv[0][2],  # t=None ("auto") sorts first
-            kv[0][3],
-            kv[0][4],
-            kv[0][5],
         ),
-    ):
+    )
+    out = []
+    for group in ordered:
+        s = group[0].scenario
         rounds = [r.last_decision_round for r in group]
         times = [r.sim_time for r in group if r.sim_time is not None]
         out.append(CellSummary(
-            algorithm=algorithm,
-            n=n,
-            t=t,
-            f=f,
-            adversary=adversary,
+            algorithm=s.algorithm,
+            n=s.n,
+            t=s.t,
+            f=s.f,
+            adversary=s.adversary,
             seeds=len(group),
             mean_last_round=sum(rounds) / len(group),
             max_last_round=max(rounds),

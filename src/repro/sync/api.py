@@ -37,6 +37,7 @@ __all__ = [
     "BatchedAlgorithm",
     "register_batched_table",
     "batched_table_for",
+    "batched_table_refillable",
 ]
 
 
@@ -267,6 +268,25 @@ class BatchedAlgorithm(abc.ABC):
     ) -> dict[int, Any]:
         """Consume the round's inboxes; return new decisions ``{pid: value}``."""
 
+    #: Refill capability advertisement: tables that implement :meth:`refill`
+    #: set this True (the registry surfaces it through
+    #: :func:`batched_table_refillable`), letting a leased engine skip the
+    #: n-object process factory entirely on same-configuration reruns.
+    supports_refill: bool = False
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        """Rewrite the columns in place for a fresh run with ``proposals``.
+
+        Returns True when the table took the refill (it must then be
+        byte-for-byte equivalent to ``from_processes`` over freshly
+        constructed processes of the same configuration — the refill
+        parity grid in ``tests/scenarios/test_columnar_parity.py`` pins
+        this), False when refilling is unsupported.  Configuration-shaped
+        state (``n``, per-process parameters like TruncatedCRW's ``k``,
+        destination tuples) is fixed across a lease and must not change.
+        """
+        return False
+
 
 #: Exact process type -> table factory.  Keyed by exact type (not
 #: ``isinstance``): a subclass overriding a hook must not silently inherit
@@ -312,3 +332,20 @@ def batched_table_for(processes: Sequence[SyncProcess]) -> BatchedAlgorithm | No
     if any(type(p) is not cls for p in processes):
         return None
     return factory(processes)
+
+
+def batched_table_refillable(process_cls: type) -> bool:
+    """Whether ``process_cls``'s registered table advertises ``refill``.
+
+    Registry-level introspection mirroring the check the engines make on
+    the live table (``table.supports_refill``) when a lease rerun asks to
+    skip the process factory; use it to answer the question without
+    building a table first.  Unregistered classes — and registrations
+    whose factory is a plain callable rather than a table classmethod —
+    report False.
+    """
+    factory = _BATCHED_TABLES.get(process_cls)
+    if factory is None:
+        return False
+    table_cls = getattr(factory, "__self__", None)
+    return bool(getattr(table_cls, "supports_refill", False))

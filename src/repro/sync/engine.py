@@ -498,8 +498,31 @@ class SynchronousEngine:
                 f"processes must have pids exactly 1..n with a common n; got {pids}"
             )
         self.procs = procs
+        self._proposals = proposals
+        self._table: BatchedAlgorithm | None = None
+        if batched is None or batched:
+            self._table = batched_table_for(processes)
+            if batched and self._table is None:
+                raise ConfigurationError(
+                    f"batched=True but {type(processes[0]).__name__} has no "
+                    f"registered batched table"
+                )
+        self._begin_run(schedule, rng=rng, trace=trace)
+
+    def _begin_run(
+        self,
+        schedule: CrashSchedule | None,
+        *,
+        rng: RandomSource | None,
+        trace: bool,
+    ) -> None:
+        """Arm the per-run state: schedule, stats, trace, ledgers, round 0.
+
+        Shared by construction, :meth:`reset` (fresh process table), and
+        :meth:`refill` (retained process table, refilled columns).
+        """
         self.schedule = schedule if schedule is not None else CrashSchedule.none()
-        self.schedule.validate(n, self.t)
+        self.schedule.validate(self.n, self.t)
         if not self.allow_control:
             for ev in self.schedule.events.values():
                 if ev.point is CrashPoint.DURING_CONTROL:
@@ -510,6 +533,7 @@ class SynchronousEngine:
         self.rng = rng
         self.stats = MessageStats()
         self.trace = Trace(enabled=trace)
+        pids = range(1, self.n + 1)
         self._active: set[int] = set(pids)
         self._active_order: list[int] = list(pids)  # kept sorted across steps
         self._crashes_by_round: dict[int, dict[int, CrashEvent]] = {}
@@ -520,15 +544,6 @@ class SynchronousEngine:
         self._crashed_round: dict[int, int] = {}
         self._decided_round: dict[int, int] = {}
         self._decisions: dict[int, Any] = {}
-        self._proposals = proposals
-        self._table: BatchedAlgorithm | None = None
-        if batched is None or batched:
-            self._table = batched_table_for(processes)
-            if batched and self._table is None:
-                raise ConfigurationError(
-                    f"batched=True but {type(processes[0]).__name__} has no "
-                    f"registered batched table"
-                )
         self._round = 0
 
     def reset(
@@ -565,6 +580,49 @@ class SynchronousEngine:
             )
         self._install(processes, schedule, rng=rng, trace=trace, batched=batched)
         return self
+
+    def refill(
+        self,
+        proposals: list[Any],
+        schedule: CrashSchedule | None = None,
+        *,
+        rng: RandomSource | None = None,
+        trace: bool = False,
+    ) -> bool:
+        """Rearm for a fresh run **without** a new process table.
+
+        The factory-free sibling of :meth:`reset`: when the engine steps
+        through a batched table that advertises ``refill``
+        (:attr:`~repro.sync.api.BatchedAlgorithm.supports_refill`), the
+        table's columns are rewritten in place from ``proposals`` and the
+        per-run state is re-armed — no ``n``-object process construction,
+        no table rebuild.  Returns False (taking no action) when the
+        engine has no refillable table; the caller then falls back to the
+        factory + :meth:`reset` path.
+
+        While stepping batched, the table is the authoritative copy of
+        algorithm state, so the retained process objects only serve as
+        decision mirrors: their decision slots are re-armed here, their
+        algorithm attributes (estimates, value sets) keep the previous
+        run's values.  Refilled runs are byte-identical to fresh ones
+        (pinned by ``tests/scenarios/test_columnar_parity.py``).
+        """
+        table = self._table
+        if table is None or not table.supports_refill:
+            return False
+        if len(proposals) != self.n:
+            raise ConfigurationError(
+                f"refill() needs {self.n} proposals, got {len(proposals)}"
+            )
+        if not table.refill(proposals):
+            return False
+        proposal_map = self._proposals
+        for pid, proc in self.procs.items():
+            proc._decided = False
+            proc._decision = None
+            proposal_map[pid] = proposals[pid - 1]
+        self._begin_run(schedule, rng=rng, trace=trace)
+        return True
 
     # -- stepping -----------------------------------------------------------
 

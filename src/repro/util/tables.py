@@ -1,8 +1,22 @@
-"""ASCII / Markdown table rendering for benchmark and experiment reports.
+"""Table utilities: report rendering and columnar-table refill helpers.
 
-The benchmark harness prints every reproduced table with these helpers so
-the output can be pasted straight into Markdown documents (the experiment
-record rendered by :mod:`repro.harness.report`, ``DESIGN.md``, PRs).
+The benchmark harness prints every reproduced table with the rendering
+helpers so the output can be pasted straight into Markdown documents (the
+experiment record rendered by :mod:`repro.harness.report`, ``DESIGN.md``,
+PRs).
+
+The refill helpers serve a different kind of table: the pid-indexed
+columnar process tables of the batched engines
+(:class:`repro.sync.api.BatchedAlgorithm` /
+:class:`repro.asyncsim.process.AsyncBatchedTable`).  Their ``refill``
+implementations rewrite per-process state columns in place for a fresh
+run of the same configuration — new proposals in, constants re-armed —
+and every one of them needs the same two moves, so they live here once:
+
+* :func:`refill_column` — overwrite the per-pid slots from a 0-indexed
+  value list (synchronous tables keep slot 0 unused, asynchronous tables
+  are 0-indexed; ``offset`` covers both conventions);
+* :func:`fill_column` — re-arm the per-pid slots with one constant.
 """
 
 from __future__ import annotations
@@ -12,7 +26,33 @@ from typing import Any
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Table", "render_ascii", "render_markdown"]
+__all__ = [
+    "Table",
+    "render_ascii",
+    "render_markdown",
+    "refill_column",
+    "fill_column",
+]
+
+
+def refill_column(column: list, values: Sequence[Any], *, offset: int = 0) -> None:
+    """Overwrite ``column[offset:]`` in place from the 0-indexed ``values``.
+
+    The column object (and anything holding a reference to it) survives;
+    only its per-pid slots change — which is the whole point of a table
+    refill: no list, no table, and no process objects are reallocated.
+    """
+    if len(column) - offset != len(values):
+        raise ConfigurationError(
+            f"column holds {len(column) - offset} slots but got "
+            f"{len(values)} values"
+        )
+    column[offset:] = values
+
+
+def fill_column(column: list, value: Any, *, offset: int = 0) -> None:
+    """Re-arm ``column[offset:]`` in place with a shared constant ``value``."""
+    column[offset:] = [value] * (len(column) - offset)
 
 
 def _cell(value: Any) -> str:

@@ -359,3 +359,151 @@ class TestReset:
         b.run()
         # Same times, same insertion-order tie-breaks, same interleaving.
         assert log_a == log_b == ["y", "z", "w", "x"]
+
+class TestFanoutBlocks:
+    """Same-instant fanout runs collapse to one heap entry, same semantics."""
+
+    def test_constant_delays_form_one_block(self):
+        q = EventQueue()
+        log: list = []
+        q.schedule_fanout(log.append, [1.0] * 5, list("abcde"), grouped=True)
+        assert len(q._heap) == 1  # one block entry...
+        assert len(q) == 5  # ...but five pending events
+        q.run()
+        assert log == list("abcde")
+        assert q.executed == 5 and len(q) == 0
+
+    def test_blocked_and_unblocked_interleaving_identical(self):
+        # Mixed delays: equal-delay runs become blocks, and an unrelated
+        # event between two runs of the same time still slots by seq.
+        blocked = EventQueue()
+        log_blocked: list = []
+        blocked.schedule_fanout(
+            log_blocked.append, [2.0, 2.0, 1.0, 2.0, 2.0], list("abcde"),
+            grouped=True,
+        )
+        blocked.schedule(2.0, log_blocked.append, "w")
+        blocked.run()
+
+        flat = EventQueue()
+        log_flat: list = []
+        for delay, arg in zip([2.0, 2.0, 1.0, 2.0, 2.0], "abcde"):
+            flat.schedule(delay, log_flat.append, arg)
+        flat.schedule(2.0, log_flat.append, "w")
+        flat.run()
+        assert log_blocked == log_flat == ["c", "a", "b", "d", "e", "w"]
+        assert blocked.executed == flat.executed == 6
+
+    def test_stop_set_checked_between_block_items(self):
+        q = EventQueue()
+        waiting = {1}
+        log: list = []
+
+        def deliver(tag):
+            log.append(tag)
+            if tag == "b":
+                waiting.discard(1)  # settles mid-block
+
+        q.schedule_fanout(deliver, [1.0] * 4, list("abcd"), grouped=True)
+        q.run(stop_set=waiting)
+        assert log == ["a", "b"]  # c and d never ran...
+        assert q.executed == 2
+        assert len(q) == 2  # ...and stay queued, exactly like plain events
+        q.run()
+        assert log == ["a", "b", "c", "d"]
+
+    def test_budget_raise_mid_block_preserves_the_tail(self):
+        q = EventQueue()
+        log: list = []
+        q.schedule_fanout(log.append, [1.0] * 4, list("abcd"), grouped=True)
+        with pytest.raises(SimulationError):
+            q.run(max_events=3)
+        assert log == ["a", "b", "c"]
+        assert q.executed == 3 and len(q) == 1
+        q.run()
+        assert log == list("abcd")
+        assert q.executed == 4 and len(q) == 0
+
+    def test_single_item_tail_requeues_as_plain_entry(self):
+        q = EventQueue()
+        log: list = []
+        action = log.append
+        q.schedule_fanout(action, [1.0, 1.0], ["a", "b"], grouped=True)
+        with pytest.raises(SimulationError):
+            q.run(max_events=1)
+        assert log == ["a"] and len(q) == 1
+        assert q._heap[0][2] is action  # degenerated to a plain entry
+        q.run()
+        assert log == ["a", "b"]
+
+    def test_horizon_leaves_whole_block_queued(self):
+        q = EventQueue()
+        log: list = []
+        q.schedule_fanout(log.append, [5.0] * 3, list("abc"), grouped=True)
+        assert q.run(until=2.0) == 2.0
+        assert log == [] and len(q) == 3
+        q.run()
+        assert log == list("abc") and q.now == 5.0
+
+    def test_seq_tokens_stay_aligned_after_blocks(self):
+        # Cancellable entries scheduled after a fanout must get the same
+        # tokens as in the per-entry world (one seq per block item).
+        q = EventQueue()
+        q.schedule_fanout(lambda _: None, [1.0] * 3, [1, 2, 3], grouped=True)
+        token = q.schedule(2.0, lambda: None)
+        assert token == 3
+        q.cancel(token)
+        q.run()
+        assert q.executed == 3
+
+    def test_reset_clears_block_accounting(self):
+        q = EventQueue()
+        q.schedule_fanout(lambda _: None, [1.0] * 4, [1, 2, 3, 4], grouped=True)
+        assert len(q) == 4
+        q.reset()
+        assert len(q) == 0
+        q.schedule_fanout(lambda _: None, [1.0] * 2, [1, 2], grouped=True)
+        q.run()
+        assert q.executed == 2 and len(q) == 0
+
+    def test_broadcast_heap_traffic_shrinks_under_constant_delay(self):
+        # The structural claim behind the same-instant kernel: a pooled
+        # constant-delay broadcast occupies one wire block + one local
+        # self-delivery entry instead of n heap entries.
+        from repro.asyncsim.network import AsyncNetwork, ConstantDelay
+        from repro.net.accounting import MessageStats
+        from repro.util.rng import RandomSource
+
+        delivered: list = []
+        q = EventQueue()
+        net = AsyncNetwork(
+            q, ConstantDelay(1.0), RandomSource(0), lambda m: None,
+            stats=MessageStats(), deliver_entry=delivered.append,
+        )
+        net.broadcast(2, 8, "EST", 42, 1, None)
+        assert len(q) == 8  # eight deliveries pending...
+        assert len(q._heap) == 3  # ...in [pre-self block][self][post-self block]
+        q.run()
+        # The sender's local copy (zero delay) lands first; the wire
+        # fan-out then arrives in destination order at the shared instant.
+        assert [e[2] for e in delivered] == [2, 1, 3, 4, 5, 6, 7, 8]
+
+    def test_handler_exception_mid_block_preserves_the_tail(self):
+        # A raising handler consumes its own item (exactly like a plain
+        # popped entry) but must leave the rest of the block queued.
+        q = EventQueue()
+        log: list = []
+
+        def deliver(tag):
+            if tag == "b":
+                raise RuntimeError("boom")
+            log.append(tag)
+
+        q.schedule_fanout(deliver, [1.0] * 4, list("abcd"), grouped=True)
+        with pytest.raises(RuntimeError):
+            q.run()
+        assert log == ["a"]
+        assert q.executed == 1  # the raising item never counts as executed
+        assert len(q) == 2  # c and d survived the raise
+        q.run()
+        assert log == ["a", "c", "d"]

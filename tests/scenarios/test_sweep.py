@@ -112,6 +112,22 @@ class TestSweepRunner:
         crw_worst = {row.f: row.max_last_round for row in rows if row.algorithm == "crw"}
         assert all(crw_worst[f] <= f + 1 for f in crw_worst)
 
+    def test_summarize_merges_fresh_and_resumed_records(self, tmp_path):
+        # A tuple-valued param serializes as a JSON array: records resumed
+        # through json.loads carry the list form while fresh records keep
+        # the caller's tuple.  Both are one configuration and must land in
+        # one summary row (the group key is canonical-JSON, not repr).
+        cells = [
+            Scenario(algorithm="crw", n=4, f=1, adversary="coordinator-killer",
+                     params={"marker": (1, 2)}, seed=seed)
+            for seed in range(4)
+        ]
+        path = tmp_path / "mixed.jsonl"
+        SweepRunner(cells[:2], jsonl_path=path).run()
+        records = SweepRunner(cells, jsonl_path=path).run()
+        rows = summarize_records(records)
+        assert len(rows) == 1 and rows[0].seeds == 4
+
 
 class TestJsonlResume:
     def test_hundred_cell_pool_sweep_with_resume(self, tmp_path):
@@ -154,6 +170,11 @@ class TestJsonlResume:
         assert runner.executed == 1
         assert len(records) == 3  # every occurrence still gets its record
         assert records[0].to_dict() == records[2].to_dict()
+        # Occurrences are independent objects: mutating one position's
+        # containers must not leak into the others.
+        assert records[0] is not records[2]
+        records[0].decisions.clear()
+        assert records[2].decisions
 
     def test_foreign_jsonl_line_is_skipped_not_fatal(self, tmp_path):
         path = tmp_path / "sweep.jsonl"
@@ -183,21 +204,38 @@ class TestJsonlResume:
         assert resumed.executed == 0
         assert len(records) == len(cells)
 
-    def test_record_round_trips_through_jsonl(self, tmp_path):
+    def test_record_round_trips_through_legacy_jsonl(self, tmp_path):
         path = tmp_path / "one.jsonl"
         cell = Scenario(algorithm="crw", n=4, f=1, adversary="coordinator-killer")
-        (record,) = SweepRunner([cell], jsonl_path=path).run()
+        (record,) = SweepRunner([cell], jsonl_path=path, writer="legacy").run()
         with open(path, encoding="utf-8") as fh:
             stored = RunRecord.from_dict(json.loads(fh.readline())["record"])
         assert stored.scenario == cell
         assert stored.decisions == record.decisions
         assert stored.spec_ok == record.spec_ok
 
-    def test_sized_payloads_serialize(self, tmp_path):
-        path = tmp_path / "sized.jsonl"
-        cell = Scenario(algorithm="crw", n=4, workload="sized",
-                        workload_params={"bits": 64})
+    def test_record_round_trips_through_columnar_jsonl(self, tmp_path):
+        from repro.scenarios import RecordBatch
+
+        path = tmp_path / "one.jsonl"
+        cell = Scenario(algorithm="crw", n=4, f=1, adversary="coordinator-killer")
         (record,) = SweepRunner([cell], jsonl_path=path).run()
-        assert record.spec_ok
-        line = json.loads(open(path, encoding="utf-8").readline())
-        assert list(line["record"]["decisions"].values())[0] == {"$sized": [101, 64]}
+        with open(path, encoding="utf-8") as fh:
+            payload = json.loads(fh.readline())["batch"]
+        (stored,) = RecordBatch.from_payload(payload).to_records()
+        assert stored.scenario == cell
+        assert stored == record  # full normalized-record equality
+
+    def test_sized_payloads_serialize(self, tmp_path):
+        for writer in ("legacy", "columnar"):
+            path = tmp_path / f"sized-{writer}.jsonl"
+            cell = Scenario(algorithm="crw", n=4, workload="sized",
+                            workload_params={"bits": 64})
+            (record,) = SweepRunner([cell], jsonl_path=path, writer=writer).run()
+            assert record.spec_ok
+            line = json.loads(open(path, encoding="utf-8").readline())
+            if writer == "legacy":
+                decisions = line["record"]["decisions"]
+            else:
+                decisions = line["batch"]["decisions"][0]
+            assert list(decisions.values())[0] == {"$sized": [101, 64]}
