@@ -3,9 +3,9 @@
 Thin checkout-level wrapper around :mod:`repro.harness.bench` (which also
 backs the ``repro-consensus bench`` CLI subcommand):
 
-* ``python benchmarks/bench_perf_gate.py --out BENCH_PR5.json`` measures
+* ``python benchmarks/bench_perf_gate.py --out BENCH_PR6.json`` measures
   the kernels and writes a machine-readable baseline;
-* adding ``--check-against BENCH_PR5.json`` compares the fresh
+* adding ``--check-against BENCH_PR6.json`` compares the fresh
   measurements to a previously written baseline and exits non-zero when
   any kernel regressed beyond ``--tolerance`` (default 1.25 = +25%).
 

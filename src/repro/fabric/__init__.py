@@ -1,0 +1,49 @@
+"""The sharded sweep fabric: manifests, stealing workers, shm results, atlases.
+
+This package is the distribution layer of the sweep stack — the
+architecture the ROADMAP's million-cell tradeoff atlases run on:
+
+* :mod:`~repro.fabric.manifest` — deterministic shard planning plus the
+  resumable JSON manifest (shard id → cell range, status, output file,
+  content hash);
+* :mod:`~repro.fabric.shm` — shared-memory slabs carrying the numeric
+  record columns back from workers (only small object columns cross the
+  pipe);
+* :mod:`~repro.fabric.shardio` — per-shard columnar JSONL files with
+  the torn-tail-healing per-cell resume;
+* :mod:`~repro.fabric.dispatcher` — :class:`ShardedSweep`, the
+  work-stealing dispatcher over long-lived worker processes;
+* :mod:`~repro.fabric.atlas` — merge-on-read reduction of a shard
+  directory into the regeneratable tradeoff-atlas artifact.
+
+``SweepRunner(executor="sharded")`` and ``repro-consensus scenario
+sweep --executor sharded`` / ``repro-consensus atlas summarize`` are the
+front doors; see ``DESIGN.md`` §3.6.
+"""
+
+from repro.fabric.atlas import (
+    atlas_summaries,
+    build_atlas,
+    iter_directory_records,
+    write_atlas,
+)
+from repro.fabric.dispatcher import ShardedSweep
+from repro.fabric.manifest import ShardManifest, ShardSpec, grid_hash, plan_shards
+from repro.fabric.shardio import heal_torn_tail, iter_shard_records, load_shard_index
+from repro.fabric.shm import ScalarSlab
+
+__all__ = [
+    "ShardedSweep",
+    "ShardManifest",
+    "ShardSpec",
+    "plan_shards",
+    "grid_hash",
+    "ScalarSlab",
+    "iter_shard_records",
+    "load_shard_index",
+    "heal_torn_tail",
+    "atlas_summaries",
+    "build_atlas",
+    "write_atlas",
+    "iter_directory_records",
+]

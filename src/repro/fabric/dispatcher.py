@@ -1,0 +1,462 @@
+"""The sharded sweep executor: work-stealing dispatch over shard workers.
+
+:class:`ShardedSweep` runs an expanded grid as shards (see
+:mod:`repro.fabric.manifest`) over long-lived worker processes:
+
+* **Dispatch** — every worker owns a queue of shards (round-robin
+  initial assignment); an idle worker first drains its own queue, then
+  **steals** the coldest shard from the longest remaining queue
+  (classic work-stealing, with the bookkeeping centralized in the
+  parent so no cross-process locks exist).  ``stolen_chunks`` counts
+  the steals.
+* **Result return** — the numeric record columns come back through a
+  per-worker :class:`~repro.fabric.shm.ScalarSlab`
+  (``multiprocessing.shared_memory``), and only the small object
+  columns (decisions, decision rounds, crash lists, violations,
+  backend names) cross the pipe — the result path the PR 5 profile
+  showed dominated by pickling is near-zero-copy.  Two slots per slab
+  let the dispatcher pipeline: a worker computes its next shard while
+  the parent drains the previous one.
+* **Persistence** — each worker appends columnar batch lines to *its
+  shard's own file* as it goes (one flush per chunk), so JSONL encoding
+  runs inside the workers, in parallel with compute, instead of
+  serially in the parent.
+* **Resume** — the manifest skips ``"done"`` shards wholesale; a
+  partially-written shard re-runs only the cells missing from its file
+  (per-cell torn-tail-healing resume, worker side).
+
+Cell order inside a shard is the grid order, so the record set — and
+the atlas reduced from the shard files — is byte-identical across
+worker counts, steal schedules, and kill/resume histories (pinned by
+``tests/fabric/``).
+
+The cell wire format is PR 5's :func:`CellDelta
+<repro.scenarios.scenario.scenario_delta>` against one shared base
+scenario, and workers reuse engines through an
+:class:`~repro.scenarios.execute.EngineLease` exactly like the pool
+executor; the parity discipline carries over verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+import traceback
+from collections import deque
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.fabric.manifest import ShardManifest, ShardSpec
+from repro.fabric.shardio import append_batch, heal_torn_tail, load_shard_index
+from repro.fabric.shm import DEPTH, ScalarSlab
+from repro.scenarios.execute import EngineLease, execute
+from repro.scenarios.record import RecordBatch, RunRecord
+from repro.scenarios.scenario import Scenario, scenario_delta, scenario_key
+
+__all__ = ["ShardedSweep"]
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _shard_chunk_size(cells: int, chunk_size: int | None) -> int:
+    """Flush unit inside a shard: ~4 flushes per shard, bounded 8..64."""
+    if chunk_size is not None:
+        return chunk_size
+    return max(8, min(64, -(-cells // 4)))
+
+
+def _run_shard(
+    base: Scenario,
+    base_dict: dict[str, Any],
+    lease: EngineLease,
+    path: str,
+    deltas: Sequence[dict[str, Any]],
+    chunk_size: int | None,
+    slab: ScalarSlab,
+    slot: int,
+) -> tuple[int, int, float, dict[str, list]]:
+    """Execute one shard: per-cell resume, chunked appends, slab publish."""
+    if os.path.exists(path):
+        done = load_shard_index(path)
+        heal_torn_tail(path)
+    else:
+        done = {}
+    flush_every = _shard_chunk_size(len(deltas), chunk_size)
+    started = time.perf_counter()
+    records: list[RunRecord] = []
+    buffer: list[RunRecord] = []
+    buffer_deltas: list[dict[str, Any]] = []
+    executed = resumed = 0
+    with open(path, "a", encoding="utf-8") as fh:
+        for delta in deltas:
+            cell = base.with_(**delta) if delta else base
+            if done:  # resume: key lookups only when the file had records
+                prior = done.get(scenario_key(cell))
+                if prior is not None:
+                    records.append(prior)
+                    resumed += 1
+                    continue
+            record = execute(cell, trace=False, lease=lease).normalized()
+            records.append(record)
+            buffer.append(record)
+            buffer_deltas.append(delta)
+            executed += 1
+            if len(buffer) >= flush_every:
+                append_batch(fh, buffer, base_dict, buffer_deltas)
+                buffer.clear()
+                buffer_deltas.clear()
+        append_batch(fh, buffer, base_dict, buffer_deltas)
+        buffer.clear()
+    elapsed = time.perf_counter() - started
+    batch = RecordBatch.from_records(records)
+    slab.write(slot, batch)
+    # Only the variable-width object columns ride the pipe; scenarios
+    # never return at all (the parent knows the cells it dispatched).
+    objects = {
+        "backend": batch.backend,
+        "decisions": batch.decisions,
+        "decision_rounds": batch.decision_rounds,
+        "crashed": batch.crashed,
+        "violations": batch.violations,
+    }
+    return executed, resumed, elapsed, objects
+
+
+def _worker_main(
+    conn,
+    shm_name: str,
+    capacity: int,
+    base_dict: dict[str, Any],
+    directory: str,
+    chunk_size: int | None,
+) -> None:
+    """Long-lived shard worker: recv shard tasks until ``stop`` (or EOF)."""
+    slab = ScalarSlab.attach(shm_name, capacity)
+    base = Scenario.from_dict(base_dict)
+    lease = EngineLease()
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return  # parent died; the manifest makes the rerun resume
+            if msg[0] == "stop":
+                return
+            _, shard_id, slot, file_name, deltas = msg
+            try:
+                result = _run_shard(
+                    base, base_dict, lease, os.path.join(directory, file_name),
+                    deltas, chunk_size, slab, slot,
+                )
+            except Exception:
+                conn.send(("error", shard_id, traceback.format_exc()))
+                return
+            conn.send(("shard", shard_id, slot, *result))
+    finally:
+        slab.close()
+        conn.close()
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class ShardedSweep:
+    """Run scenario cells as manifest-backed shards over stealing workers.
+
+    Parameters
+    ----------
+    cells:
+        The grid cells, in grid order.  Canonical keys must be unique
+        (:class:`~repro.scenarios.sweep.SweepRunner` dedupes before
+        delegating here).
+    directory:
+        The shard directory (manifest + per-shard files).  ``None`` runs
+        in an ephemeral temporary directory — the fabric machinery with
+        no durable artifact.
+    processes:
+        Worker count (default ``os.cpu_count()``), capped at the number
+        of unfinished shards.
+    shards:
+        Shard count for a *fresh* plan (default: ~4 per worker, so
+        stealing has slack).  An existing manifest's plan always wins —
+        resume must line up with the files already on disk.
+    chunk_size:
+        Flush unit inside a shard (default: ~4 flushes per shard,
+        bounded 8..64 cells).
+    keys:
+        Precomputed canonical keys, one per cell, when the caller
+        already paid for them (``SweepRunner`` computes keys to dedupe
+        before delegating — recomputing ~1µs-per-cell hashes twice is
+        measurable at atlas scale).  ``None`` computes them here.
+    collect:
+        ``True`` returns every cell's record (merge-on-read over done
+        shards); ``False`` skips collection entirely — completed shard
+        files are *never read* — for atlas-scale sweeps reduced later by
+        :mod:`repro.fabric.atlas`.
+    """
+
+    def __init__(
+        self,
+        cells: Iterable[Scenario],
+        *,
+        directory: str | os.PathLike[str] | None = None,
+        processes: int | None = None,
+        shards: int | None = None,
+        chunk_size: int | None = None,
+        keys: Sequence[str] | None = None,
+        collect: bool = True,
+    ) -> None:
+        self.cells = list(cells)
+        if keys is not None and len(keys) != len(self.cells):
+            raise ConfigurationError(
+                f"keys/cells length mismatch: {len(keys)} keys for "
+                f"{len(self.cells)} cells"
+            )
+        self.keys = list(keys) if keys is not None else None
+        self.directory = os.fspath(directory) if directory is not None else None
+        if processes is not None and processes < 1:
+            raise ConfigurationError(f"processes must be >= 1, got {processes}")
+        if shards is not None and shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.processes = processes
+        self.shards = shards
+        self.chunk_size = chunk_size
+        self.collect = collect
+        #: Cells actually executed / loaded back by the last :meth:`run`.
+        self.executed = 0
+        self.resumed = 0
+        #: Shards skipped via the manifest vs dispatched to workers.
+        self.resumed_shards = 0
+        self.fresh_shards = 0
+        #: Shards an idle worker stole from another worker's queue.
+        self.stolen_chunks = 0
+        #: Per-shard stats dicts (id, cells, executed, resumed, elapsed_s,
+        #: cells_per_s, worker, stolen), in shard-id order.
+        self.shard_stats: list[dict[str, Any]] = []
+        self.elapsed = 0.0
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> list[RunRecord] | None:
+        """Run/resume the sweep; records in cell order (None if not collecting)."""
+        started = time.perf_counter()
+        self.executed = self.resumed = 0
+        self.resumed_shards = self.fresh_shards = self.stolen_chunks = 0
+        self.shard_stats = []
+        tmp = None
+        directory = self.directory
+        if directory is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            directory = tmp.name
+        try:
+            result = self._run_in(directory)
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+            self.elapsed = time.perf_counter() - started
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_in(self, directory: str) -> list[RunRecord] | None:
+        cells = self.cells
+        if not cells:
+            return [] if self.collect else None
+        keys = self.keys or [scenario_key(cell) for cell in cells]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(
+                "sharded sweeps need unique cells (duplicate scenario keys "
+                "in the grid); SweepRunner dedupes before delegating"
+            )
+        workers = self.processes or os.cpu_count() or 2
+        shard_count = self.shards or max(1, workers * 4)
+        manifest = ShardManifest.load_or_create(directory, keys, shard_count)
+
+        results: list[RunRecord | None] | None = (
+            [None] * len(cells) if self.collect else None
+        )
+        pending: list[ShardSpec] = []
+        for spec in manifest.shards:
+            path = os.path.join(directory, spec.file)
+            if spec.status == "done" and os.path.exists(path):
+                if self._collect_done_shard(spec, path, keys, results):
+                    continue
+                spec.status = "pending"  # file incomplete: fall through
+            pending.append(spec)
+        if pending:
+            self._dispatch(directory, manifest, pending, results, workers)
+        self.shard_stats.sort(key=lambda stat: stat["id"])
+        return results  # type: ignore[return-value]
+
+    def _collect_done_shard(
+        self,
+        spec: ShardSpec,
+        path: str,
+        keys: list[str],
+        results: list[RunRecord | None] | None,
+    ) -> bool:
+        """Account (and, when collecting, load) one manifest-done shard.
+
+        Returns False when the file no longer covers the shard's cells —
+        the shard is then demoted and re-run (its surviving records still
+        resume per-cell inside the worker).
+        """
+        if results is not None:
+            index = load_shard_index(path)
+            loaded: list[RunRecord] = []
+            for i in range(spec.start, spec.stop):
+                record = index.get(keys[i])
+                if record is None:
+                    return False
+                loaded.append(record)
+            results[spec.start:spec.stop] = loaded
+        # collect=False trusts the manifest outright: done shards are
+        # never read here — that is the merge-on-read contract the atlas
+        # layer depends on for million-cell sweeps.
+        self.resumed += spec.cells
+        self.resumed_shards += 1
+        self.shard_stats.append({
+            "id": spec.id,
+            "cells": spec.cells,
+            "executed": 0,
+            "resumed": spec.cells,
+            "elapsed_s": 0.0,
+            "cells_per_s": None,
+            "worker": None,
+            "stolen": False,
+        })
+        return True
+
+    def _dispatch(
+        self,
+        directory: str,
+        manifest: ShardManifest,
+        pending: list[ShardSpec],
+        results: list[RunRecord | None] | None,
+        workers: int,
+    ) -> None:
+        cells = self.cells
+        base = cells[0]
+        base_dict = base.to_dict()
+        n_workers = max(1, min(workers, len(pending)))
+        capacity = max(spec.cells for spec in pending)
+        self.fresh_shards = len(pending)
+
+        ctx = get_context()
+        slabs: list[ScalarSlab] = []
+        conns: list[Any] = []
+        procs: list[Any] = []
+        queues: list[deque[ShardSpec]] = [deque() for _ in range(n_workers)]
+        for i, spec in enumerate(pending):
+            queues[i % n_workers].append(spec)
+        free_slots: list[list[int]] = [list(range(DEPTH)) for _ in range(n_workers)]
+        outstanding: dict[tuple[int, int], tuple[ShardSpec, bool]] = {}
+
+        def next_spec(w: int) -> tuple[ShardSpec | None, bool]:
+            if queues[w]:
+                return queues[w].popleft(), False
+            victim = max(range(n_workers), key=lambda v: len(queues[v]))
+            if queues[victim]:
+                self.stolen_chunks += 1
+                return queues[victim].pop(), True  # coldest end of the queue
+            return None, False
+
+        def dispatch_to(w: int) -> None:
+            while free_slots[w]:
+                spec, stolen = next_spec(w)
+                if spec is None:
+                    return
+                slot = free_slots[w].pop()
+                deltas = [
+                    scenario_delta(base, cells[i])
+                    for i in range(spec.start, spec.stop)
+                ]
+                conns[w].send(("shard", spec.id, slot, spec.file, deltas))
+                outstanding[(w, slot)] = (spec, stolen)
+
+        try:
+            for w in range(n_workers):
+                slab = ScalarSlab.create(capacity)
+                slabs.append(slab)
+                parent_conn, child_conn = ctx.Pipe()
+                conns.append(parent_conn)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, slab.name, capacity, base_dict,
+                          directory, self.chunk_size),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+                child_conn.close()
+            conn_index = {id(conn): w for w, conn in enumerate(conns)}
+            for w in range(n_workers):
+                dispatch_to(w)
+            remaining = len(pending)
+            while remaining:
+                for conn in mp_connection.wait(conns):
+                    w = conn_index[id(conn)]
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        raise RuntimeError(
+                            f"sharded sweep worker {w} died mid-shard; "
+                            f"rerun to resume from the manifest"
+                        ) from None
+                    if msg[0] == "error":
+                        raise RuntimeError(
+                            f"sharded sweep worker {w} failed on shard "
+                            f"{msg[1]}:\n{msg[2]}"
+                        )
+                    _, shard_id, slot, executed, resumed, elapsed, objects = msg
+                    spec, stolen = outstanding.pop((w, slot))
+                    scalars = slabs[w].read(slot, spec.cells)
+                    free_slots[w].append(slot)
+                    if results is not None:
+                        batch = RecordBatch()
+                        batch.scenarios = cells[spec.start:spec.stop]
+                        batch.backend = objects["backend"]
+                        batch.decisions = objects["decisions"]
+                        batch.decision_rounds = objects["decision_rounds"]
+                        batch.crashed = objects["crashed"]
+                        batch.violations = objects["violations"]
+                        for name, column in scalars.items():
+                            setattr(batch, name, column)
+                        results[spec.start:spec.stop] = batch.to_records()
+                    self.executed += executed
+                    self.resumed += resumed
+                    manifest.mark_done(shard_id)
+                    self.shard_stats.append({
+                        "id": shard_id,
+                        "cells": spec.cells,
+                        "executed": executed,
+                        "resumed": resumed,
+                        "elapsed_s": elapsed,
+                        "cells_per_s": spec.cells / elapsed if elapsed > 0 else None,
+                        "worker": w,
+                        "stolen": stolen,
+                    })
+                    remaining -= 1
+                    dispatch_to(w)
+            for conn in conns:
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in procs:
+                proc.join(timeout=10.0)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for conn in conns:
+                conn.close()
+            for slab in slabs:
+                slab.unlink()

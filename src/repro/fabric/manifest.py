@@ -1,0 +1,228 @@
+"""Shard planning and the resumable shard manifest.
+
+A sharded sweep splits an expanded grid into contiguous, deterministic
+**shards** — the durability and dispatch unit of the fabric.  Each shard
+owns one columnar JSONL output file; the **manifest** (``manifest.json``
+in the shard directory) records, per shard: its cell range, output file,
+content hash, and completion status.
+
+The manifest is what makes a killed sweep resume *shard-by-shard*: a
+rerun reads the manifest, skips every ``"done"`` shard without touching
+its file, and hands only the unfinished shards to workers (which then
+apply the per-cell torn-tail-healing resume *inside* their shard file).
+Because shard boundaries are pinned by the manifest — not re-derived
+from the rerun's worker count — a sweep can resume under a different
+``processes``/``shards`` setting and still line up with its files.
+
+Content hashes pin identity: each shard's hash covers the canonical keys
+of exactly its cells, and the grid hash covers all of them, so resuming
+a directory against a *different* grid is rejected instead of silently
+mixing results (:func:`ShardManifest.load_or_create`).
+
+Manifest updates are atomic (temp file + ``os.replace``); a kill between
+updates at worst loses the *status* of a finished shard, and the per-cell
+resume inside that shard then re-runs nothing — the keys are already in
+its file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ShardSpec", "ShardManifest", "plan_shards", "grid_hash", "shard_hash"]
+
+#: File name of the manifest inside a shard directory.
+MANIFEST_NAME = "manifest.json"
+MANIFEST_SCHEMA = 1
+
+
+def _digest(keys: Sequence[str]) -> str:
+    h = hashlib.sha256()
+    for key in keys:
+        h.update(key.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()[:16]
+
+
+def grid_hash(keys: Sequence[str]) -> str:
+    """Stable identity of a whole expanded grid (canonical cell keys)."""
+    return _digest(keys)
+
+
+def shard_hash(keys: Sequence[str], start: int, stop: int) -> str:
+    """Stable identity of one shard's cell range."""
+    return _digest(keys[start:stop])
+
+
+@dataclass(slots=True)
+class ShardSpec:
+    """One shard: a contiguous cell range bound to one output file."""
+
+    id: int
+    start: int  # first cell index (inclusive)
+    stop: int  # last cell index (exclusive)
+    file: str  # output file name, relative to the shard directory
+    content_hash: str  # hash over the canonical keys of cells[start:stop]
+    status: str = "pending"  # "pending" | "done"
+
+    @property
+    def cells(self) -> int:
+        return self.stop - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "start": self.start,
+            "stop": self.stop,
+            "file": self.file,
+            "content_hash": self.content_hash,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardSpec":
+        return cls(
+            id=int(data["id"]),
+            start=int(data["start"]),
+            stop=int(data["stop"]),
+            file=str(data["file"]),
+            content_hash=str(data["content_hash"]),
+            status=str(data["status"]),
+        )
+
+
+def plan_shards(keys: Sequence[str], shard_count: int) -> list[ShardSpec]:
+    """Deterministically partition a grid into near-equal contiguous shards.
+
+    ``shard_count`` is clamped to ``[1, len(keys)]``; the first
+    ``len(keys) % shard_count`` shards get one extra cell.  The plan is a
+    pure function of ``(keys, shard_count)`` — the same grid always
+    shards the same way, which is what lets the manifest's content
+    hashes validate a resume.
+    """
+    n = len(keys)
+    if n == 0:
+        raise ConfigurationError("cannot shard an empty grid")
+    shard_count = max(1, min(shard_count, n))
+    base, extra = divmod(n, shard_count)
+    specs: list[ShardSpec] = []
+    start = 0
+    for i in range(shard_count):
+        stop = start + base + (1 if i < extra else 0)
+        specs.append(ShardSpec(
+            id=i,
+            start=start,
+            stop=stop,
+            file=f"shard-{i:04d}.jsonl",
+            content_hash=shard_hash(keys, start, stop),
+        ))
+        start = stop
+    return specs
+
+
+class ShardManifest:
+    """The on-disk shard plan of one sweep directory, with atomic updates."""
+
+    __slots__ = ("directory", "cells", "grid", "shards")
+
+    def __init__(self, directory: str, cells: int, grid: str,
+                 shards: list[ShardSpec]) -> None:
+        self.directory = directory
+        self.cells = cells
+        self.grid = grid
+        self.shards = shards
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self) -> None:
+        """Atomically rewrite the manifest (temp file + rename)."""
+        doc = {
+            "schema": MANIFEST_SCHEMA,
+            "cells": self.cells,
+            "grid_hash": self.grid,
+            "shards": [s.to_dict() for s in self.shards],
+        }
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    def mark_done(self, shard_id: int) -> None:
+        """Flip one shard to ``"done"`` and persist the manifest."""
+        self.shards[shard_id].status = "done"
+        self.save()
+
+    @classmethod
+    def load(cls, directory: str) -> "ShardManifest":
+        path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read shard manifest {path!r}: {exc}"
+            ) from exc
+        if doc.get("schema") != MANIFEST_SCHEMA:
+            raise ConfigurationError(
+                f"shard manifest {path!r} has schema "
+                f"{doc.get('schema')!r}, expected {MANIFEST_SCHEMA}"
+            )
+        return cls(
+            directory=directory,
+            cells=int(doc["cells"]),
+            grid=str(doc["grid_hash"]),
+            shards=[ShardSpec.from_dict(d) for d in doc["shards"]],
+        )
+
+    @classmethod
+    def load_or_create(
+        cls, directory: str, keys: Sequence[str], shard_count: int
+    ) -> "ShardManifest":
+        """Resume an existing plan or lay down a fresh one.
+
+        An existing manifest **wins over the requested shard count**: its
+        boundaries are what the shard files on disk were written against,
+        so a resume validates the manifest's own ranges against the
+        current grid (cell count, grid hash, per-shard content hashes)
+        and reuses them.  A mismatch means the directory belongs to a
+        different grid — refusing beats silently mixing two sweeps'
+        results in one atlas.
+        """
+        os.makedirs(directory, exist_ok=True)
+        if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+            manifest = cls.load(directory)
+            if manifest.cells != len(keys) or manifest.grid != grid_hash(keys):
+                raise ConfigurationError(
+                    f"shard directory {directory!r} was planned for a "
+                    f"different grid ({manifest.cells} cells, hash "
+                    f"{manifest.grid}) than the one being swept "
+                    f"({len(keys)} cells, hash {grid_hash(keys)}); "
+                    f"point the sweep at a fresh directory"
+                )
+            for spec in manifest.shards:
+                if spec.content_hash != shard_hash(keys, spec.start, spec.stop):
+                    raise ConfigurationError(
+                        f"shard {spec.id} of {directory!r} does not match "
+                        f"the current grid (content hash mismatch); the "
+                        f"directory belongs to a different cell ordering"
+                    )
+            return manifest
+        manifest = cls(
+            directory=directory,
+            cells=len(keys),
+            grid=grid_hash(keys),
+            shards=plan_shards(keys, shard_count),
+        )
+        manifest.save()
+        return manifest

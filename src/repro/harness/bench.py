@@ -8,9 +8,9 @@ This module is the engine behind both entry points:
 
 Usage pattern:
 
-* ``bench --write-baseline BENCH_PR5.json`` measures the kernels and
+* ``bench --write-baseline BENCH_PR6.json`` measures the kernels and
   writes a machine-readable baseline;
-* ``bench --check-against BENCH_PR5.json`` compares fresh measurements
+* ``bench --check-against BENCH_PR6.json`` compares fresh measurements
   to a previously written baseline and exits non-zero when any kernel
   regressed beyond ``--tolerance`` (default 1.25 = +25%).
 
@@ -42,7 +42,11 @@ Kernels (via the scenario layer):
   the sweep data-path throughput kernel (PR 5's columnar record
   pipeline — normalized records, batch persistence, key-indexed resume);
 * ``sweep_*``         — ~1k-cell grid over the process-pool executor with
-  JSONL persistence (``--quick`` shrinks it for CI).
+  JSONL persistence (``--quick`` shrinks it for CI);
+* ``shard_sweep_*``   — the same grids over the sharded work-stealing
+  fabric (:mod:`repro.fabric`): manifest planning, shard workers with
+  shared-memory scalar return, per-shard columnar files.  Gated like
+  the pool kernels (same-core-count hosts only).
 """
 
 from __future__ import annotations
@@ -175,11 +179,11 @@ def _kernel_sweep(quick: bool, executor: str) -> None:
 
     cells = _sweep_cells(quick)
     with tempfile.TemporaryDirectory() as tmp:
-        runner = SweepRunner(
-            cells,
-            executor=executor,
-            jsonl_path=os.path.join(tmp, "sweep.jsonl"),
-        )
+        # The sharded executor's jsonl_path is a shard *directory*; the
+        # others persist to a single file.  Both sides of the pool-vs-
+        # sharded comparison pay for full JSONL persistence.
+        path = os.path.join(tmp, "shards" if executor == "sharded" else "sweep.jsonl")
+        runner = SweepRunner(cells, executor=executor, jsonl_path=path)
         records = runner.run()
         assert len(records) == len(cells) and runner.executed == len(cells)
 
@@ -230,10 +234,17 @@ def measure(quick: bool) -> dict:
         f"sweep_pool_{quick_cells}c": _best_of(
             lambda: _kernel_sweep(True, "process"), repeats=3, min_seconds=0.5
         ),
+        f"shard_sweep_{quick_cells}c": _best_of(
+            lambda: _kernel_sweep(True, "sharded"), repeats=3, min_seconds=0.5
+        ),
     }
     if not quick:
-        kernels[f"sweep_pool_{len(_sweep_cells(False))}c"] = _best_of(
+        full_cells = len(_sweep_cells(False))
+        kernels[f"sweep_pool_{full_cells}c"] = _best_of(
             lambda: _kernel_sweep(False, "process"), repeats=2, min_seconds=1.0
+        )
+        kernels[f"shard_sweep_{full_cells}c"] = _best_of(
+            lambda: _kernel_sweep(False, "sharded"), repeats=2, min_seconds=1.0
         )
     return {
         "schema": SCHEMA_VERSION,
@@ -253,9 +264,9 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
     Kernels are matched by name on their normalized score; kernels present
     on only one side are reported informationally but do not fail the
     gate (grid sizes legitimately differ between --quick and full runs).
-    ``sweep_pool_*`` kernels additionally gate only when both sides ran on
-    the same core count — a pool sweep's score scales with parallelism,
-    which calibration cannot cancel out.
+    ``sweep_pool_*`` and ``shard_sweep_*`` kernels additionally gate only
+    when both sides ran on the same core count — a multi-process sweep's
+    score scales with parallelism, which calibration cannot cancel out.
     """
     failures: list[str] = []
     base_kernels = baseline.get("kernels", {})
@@ -265,7 +276,8 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
         if base is None:
             print(f"  [new] {name}: score {entry['score']:.1f} (no baseline)")
             continue
-        if name.startswith("sweep_pool_") and not same_host_shape:
+        multiproc = name.startswith(("sweep_pool_", "shard_sweep_"))
+        if multiproc and not same_host_shape:
             print(
                 f"  [info] {name}: score {entry['score']:.1f} vs baseline "
                 f"{base['score']:.1f} (not gated: cpu_count "

@@ -4,7 +4,10 @@ Subcommands
 -----------
 ``run``             one consensus run (legacy flags), printing outcome and stats
 ``scenario run``    one declarative scenario (any registered algorithm/backend)
-``scenario sweep``  a scenario grid: serial or process-pool, JSONL persistence/resume
+``scenario sweep``  a scenario grid: serial, process-pool, or sharded
+                    (work-stealing fabric), JSONL persistence/resume
+``atlas summarize`` merge-on-read tradeoff tables over a sharded sweep
+                    directory (streaming; ``--out`` writes the artifact)
 ``bench``           perf-gate kernels: measure / ``--check-against`` /
                     ``--write-baseline`` (wraps ``benchmarks/bench_perf_gate.py``)
 ``experiment``      regenerate one of the paper's experiments (e1..e8)
@@ -208,23 +211,29 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         jsonl_path=args.jsonl,
         writer=args.writer,
+        shards=args.shards,
     )
     records = runner.run()
     summaries = summarize_records(records)
     # Throughput summary: executed cells over the wall clock of run().
     cells_per_s = runner.executed / runner.elapsed if runner.elapsed > 0 else 0.0
     if args.json:
-        print(json.dumps(
-            {
-                "cells": len(cells),
-                "executed": runner.executed,
-                "resumed": runner.resumed,
-                "elapsed_s": runner.elapsed,
-                "cells_per_s": cells_per_s,
-                "records": [r.to_dict() for r in records],
-            },
-            sort_keys=True,
-        ))
+        out = {
+            "cells": len(cells),
+            "executed": runner.executed,
+            "resumed": runner.resumed,
+            "elapsed_s": runner.elapsed,
+            "cells_per_s": cells_per_s,
+            "records": [r.to_dict() for r in records],
+        }
+        if args.executor == "sharded":
+            # Per-shard stats carry each shard's own cells_per_s (None for
+            # shards resumed wholesale off the manifest).
+            out["shards"] = runner.shard_stats
+            out["resumed_shards"] = runner.resumed_shards
+            out["fresh_shards"] = runner.fresh_shards
+            out["stolen_chunks"] = runner.stolen_chunks
+        print(json.dumps(out, sort_keys=True))
     else:
         table = Table(
             ["algorithm", "n", "t", "f", "adversary", "seeds",
@@ -241,11 +250,52 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
                 "ok" if row.spec_ok else "VIOLATED",
             )
         print(table.to_ascii())
-        print(
+        progress = (
             f"progress: {runner.executed} executed in {runner.elapsed:.2f}s "
             f"({cells_per_s:.0f} cells/s), {runner.resumed} resumed"
         )
+        if args.executor == "sharded":
+            progress += (
+                f"; shards: {runner.fresh_shards} fresh, "
+                f"{runner.resumed_shards} resumed, "
+                f"{runner.stolen_chunks} stolen"
+            )
+        print(progress)
     return 0 if all(r.spec_ok for r in records) else 1
+
+
+def _cmd_atlas_summarize(args: argparse.Namespace) -> int:
+    from repro.fabric.atlas import build_atlas
+    from repro.util.tables import Table
+
+    doc = build_atlas(args.dir)
+    if args.out is not None:
+        from repro.fabric.atlas import write_atlas
+
+        write_atlas(args.dir, args.out)
+    if args.json:
+        print(json.dumps(doc, sort_keys=True))
+        return 0
+    table = Table(
+        ["algorithm", "n", "t", "f", "adversary", "seeds",
+         "mean rounds", "mean msgs", "mean bits", "spec"],
+        title=(
+            f"atlas: {doc['cells']} cells in {doc['shards']} shards "
+            f"(grid {doc['grid_hash']})"
+        ),
+    )
+    for row in doc["rows"]:
+        table.add_row(
+            row["algorithm"], row["n"],
+            row["t"] if row["t"] is not None else "auto",
+            row["f"], row["adversary"], row["seeds"],
+            row["mean_last_round"], row["mean_messages"], row["mean_bits"],
+            "ok" if row["spec_ok"] else "VIOLATED",
+        )
+    print(table.to_ascii())
+    if args.out is not None:
+        print(f"wrote atlas artifact to {args.out}")
+    return 0 if all(row["spec_ok"] for row in doc["rows"]) else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -366,11 +416,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--adversary", action="append", default=None,
                       help="adversary name(s), repeatable or comma-separated")
     p_sw.add_argument("--seeds", type=int, default=10)
-    p_sw.add_argument("--executor", choices=("serial", "process"), default="serial")
-    p_sw.add_argument("--jobs", type=int, default=None, help="process-pool size")
+    p_sw.add_argument("--executor", choices=("serial", "process", "sharded"),
+                      default="serial")
+    p_sw.add_argument("--jobs", type=int, default=None,
+                      help="process-pool / sharded worker count")
     p_sw.add_argument("--chunk-size", type=int, default=None,
                       help="cells per worker task (default: auto-tuned)")
-    p_sw.add_argument("--jsonl", default=None, help="JSONL persistence/resume file")
+    p_sw.add_argument("--shards", type=int, default=None,
+                      help="shard count for a fresh sharded sweep "
+                      "(default: ~4 per worker; a resumed directory's "
+                      "manifest wins)")
+    p_sw.add_argument("--jsonl", default=None,
+                      help="JSONL persistence/resume file (sharded executor: "
+                      "a shard *directory* — manifest + per-shard files)")
     p_sw.add_argument("--writer", choices=("columnar", "legacy"), default="columnar",
                       help="JSONL layout: one batch line per chunk (columnar, "
                       "default) or one record line per cell (legacy); resume "
@@ -390,6 +448,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_b.add_argument("--tolerance", type=float, default=1.25,
                      help="max allowed score ratio vs baseline (default 1.25)")
     p_b.set_defaults(func=_cmd_bench)
+
+    p_atlas = sub.add_parser(
+        "atlas", help="merge-on-read summaries over a sharded sweep directory"
+    )
+    a_sub = p_atlas.add_subparsers(dest="atlas_command", required=True)
+    p_as = a_sub.add_parser(
+        "summarize",
+        help="stream a shard directory's files into the tradeoff tables",
+    )
+    p_as.add_argument("--dir", required=True,
+                      help="shard directory (manifest.json + shard-*.jsonl)")
+    p_as.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the regeneratable atlas artifact JSON")
+    p_as.add_argument("--json", action="store_true", help="machine-readable output")
+    p_as.set_defaults(func=_cmd_atlas_summarize)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     p_exp.add_argument("name", help="e1..e8")

@@ -45,6 +45,7 @@ from repro.scenarios.sweep import (
     CellSummary,
     SweepRunner,
     expand_grid,
+    summarize_record_sources,
     summarize_records,
 )
 
@@ -74,4 +75,5 @@ __all__ = [
     "expand_grid",
     "CellSummary",
     "summarize_records",
+    "summarize_record_sources",
 ]

@@ -300,7 +300,11 @@ class RecordBatch:
 
     # -- chunk payload (wire + columnar JSONL form) -------------------------
 
-    def to_payload(self, base: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    def to_payload(
+        self,
+        base: Mapping[str, Any] | None = None,
+        deltas: Sequence[Mapping[str, Any]] | None = None,
+    ) -> dict[str, Any]:
         """One compact chunk payload: shared base scenario + columns.
 
         ``base`` is the shared base-scenario dict (defaults to the first
@@ -308,13 +312,28 @@ class RecordBatch:
         <repro.scenarios.scenario.scenario_delta>` against it.  The dict is
         JSON-ready (``json.dumps`` stringifies the int pid keys of the
         decision columns) and pickles compactly across a process pool.
+
+        ``deltas`` short-circuits the per-cell :func:`scenario_delta` pass
+        with deltas the caller already holds — the sharded fabric's
+        workers receive each cell *as* its delta against ``base``, so
+        recomputing them per flush would be pure overhead.  Callers must
+        guarantee ``base.with_(**deltas[i]) == scenarios[i]``.
         """
-        if base is None:
-            base = self.scenarios[0].to_dict() if self.scenarios else {}
-        base_scenario = Scenario.from_dict(base) if base else None
+        if deltas is not None:
+            if base is None or len(deltas) != len(self.scenarios):
+                raise ValueError(
+                    "to_payload(deltas=...) needs the matching base dict "
+                    "and one delta per batched cell"
+                )
+            cells = [dict(delta) for delta in deltas]
+        else:
+            if base is None:
+                base = self.scenarios[0].to_dict() if self.scenarios else {}
+            base_scenario = Scenario.from_dict(base) if base else None
+            cells = [scenario_delta(base_scenario, s) for s in self.scenarios]
         return {
             "base": dict(base),
-            "cells": [scenario_delta(base_scenario, s) for s in self.scenarios],
+            "cells": cells,
             "decisions": self.decisions,
             "violations": [list(v) for v in self.violations],
             **{name: getattr(self, name) for name in _PLAIN_COLUMNS},

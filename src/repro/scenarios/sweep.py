@@ -9,6 +9,11 @@ executes them under a chosen executor:
   resolve names against the registries their own import of
   :mod:`repro.scenarios` built, so custom entries must be registered at
   module import time.
+* ``"sharded"`` — the :mod:`repro.fabric` work-stealing executor:
+  ``jsonl_path`` names a shard *directory* (manifest + one columnar
+  JSONL file per shard), results return through shared-memory scalar
+  slabs, and resume is shard-wise off the manifest.  See
+  :class:`repro.fabric.ShardedSweep`.
 
 The data path is columnar end to end (PR 5).  Two independent knobs keep
 the legacy one-dict-per-cell shapes available for comparison:
@@ -59,7 +64,13 @@ from repro.scenarios.record import RecordBatch, RunRecord
 from repro.scenarios.registry import ADVERSARIES, ALGORITHMS
 from repro.scenarios.scenario import Scenario, scenario_delta, scenario_key
 
-__all__ = ["SweepRunner", "expand_grid", "CellSummary", "summarize_records"]
+__all__ = [
+    "SweepRunner",
+    "expand_grid",
+    "CellSummary",
+    "summarize_records",
+    "summarize_record_sources",
+]
 
 
 def expand_grid(
@@ -174,25 +185,49 @@ def _run_chunk(task: tuple[int, list[dict[str, Any]]]) -> tuple[int, list[dict[s
     return idx, [_run_cell(cell, lease) for cell in chunk]
 
 
-def _run_chunk_delta(
-    task: tuple[int, dict[str, Any], list[dict[str, Any]]],
-) -> tuple[int, dict[str, Any]]:
-    """Delta-wire worker: base scenario + CellDeltas in, one batch payload out.
+#: Per-worker shared base scenario for the delta wire, set once by the
+#: pool initializer instead of riding every chunk task through the pipe.
+_POOL_BASE: Scenario | None = None
+_POOL_BASE_DICT: dict[str, Any] | None = None
 
-    The base scenario is materialized once; each cell is its ``with_``
-    variation, so no per-cell ``Scenario.from_dict`` validation pass runs
-    in the worker, and the whole chunk's records return as one columnar
-    :class:`~repro.scenarios.record.RecordBatch` payload instead of one
-    dict per cell.
+
+def _pool_init_base(base_dict: dict[str, Any]) -> None:
+    """Pool initializer: materialize the sweep-wide base scenario once.
+
+    Every delta-wire chunk task used to carry (and re-pickle) the full
+    base-scenario dict; hoisting it here means only the compact per-cell
+    deltas cross the pipe per task.
     """
-    idx, base_dict, deltas = task
-    base = Scenario.from_dict(base_dict)
+    global _POOL_BASE, _POOL_BASE_DICT
+    _POOL_BASE_DICT = base_dict
+    _POOL_BASE = Scenario.from_dict(base_dict)
+
+
+def _run_chunk_delta(
+    task: tuple[int, list[dict[str, Any]]],
+) -> tuple[int, dict[str, Any]]:
+    """Delta-wire worker: CellDeltas in, one batch payload out.
+
+    The shared base scenario was materialized once per worker by
+    :func:`_pool_init_base`; each cell is its ``with_`` variation, so no
+    per-cell ``Scenario.from_dict`` validation pass runs in the worker,
+    and the whole chunk's records return as one columnar
+    :class:`~repro.scenarios.record.RecordBatch` payload instead of one
+    dict per cell.  The payload's ``base`` entry is stripped — the
+    parent knows it and re-attaches it, so it never crosses the result
+    pipe either.
+    """
+    idx, deltas = task
+    base = _POOL_BASE
+    assert base is not None, "pool initialized without _pool_init_base"
     lease = EngineLease()
     batch = RecordBatch()
     for delta in deltas:
         cell = base.with_(**delta) if delta else base
         batch.append(execute(cell, trace=False, lease=lease).normalized())
-    return idx, batch.to_payload(base_dict)
+    payload = batch.to_payload(_POOL_BASE_DICT)
+    del payload["base"]
+    return idx, payload
 
 
 def _dict_key(scenario_dict: Any) -> str | None:
@@ -219,10 +254,16 @@ class SweepRunner:
     scenarios:
         The cells to run (ordering is preserved in the results).
     executor:
-        ``"serial"`` or ``"process"``.
+        ``"serial"``, ``"process"``, or ``"sharded"`` (the
+        :mod:`repro.fabric` work-stealing executor; ``jsonl_path`` then
+        names a shard *directory*, and ``writer`` must stay columnar).
     processes:
-        Pool size for the process executor (default: ``os.cpu_count()``,
-        capped at the number of chunks).
+        Pool/worker count for the process and sharded executors
+        (default: ``os.cpu_count()``, capped at the number of
+        chunks/shards).
+    shards:
+        Shard count for a fresh sharded plan (default: ~4 per worker);
+        an existing shard directory's manifest always wins on resume.
     chunk_size:
         Cells per worker task; seed-dense grids amortize pickling and
         registry warm-up over each chunk.  ``None`` (the default) sizes
@@ -255,15 +296,22 @@ class SweepRunner:
         jsonl_path: str | os.PathLike[str] | None = None,
         writer: str = "columnar",
         wire: str = "delta",
+        shards: int | None = None,
     ) -> None:
         self.scenarios = list(scenarios)
-        if executor not in ("serial", "process"):
+        if executor not in ("serial", "process", "sharded"):
             raise ConfigurationError(
-                f"unknown executor {executor!r}; available: serial, process"
+                f"unknown executor {executor!r}; available: serial, process, "
+                f"sharded"
             )
         if writer not in ("columnar", "legacy"):
             raise ConfigurationError(
                 f"unknown writer {writer!r}; available: columnar, legacy"
+            )
+        if executor == "sharded" and writer != "columnar":
+            raise ConfigurationError(
+                "the sharded executor writes columnar shard files; "
+                "writer='legacy' would be silently ignored"
             )
         if wire not in ("delta", "dict"):
             raise ConfigurationError(
@@ -279,12 +327,19 @@ class SweepRunner:
         self.jsonl_path = os.fspath(jsonl_path) if jsonl_path is not None else None
         self.writer = writer
         self.wire = wire
+        self.shards = shards
         #: Cells actually executed by the last :meth:`run` (excludes resumed).
         self.executed = 0
         #: Cells loaded from the JSONL file by the last :meth:`run`.
         self.resumed = 0
         #: Wall-clock seconds spent inside the last :meth:`run`.
         self.elapsed = 0.0
+        #: Sharded executor only: shard counts, steal count, per-shard stats
+        #: (see :class:`repro.fabric.ShardedSweep`); zero/empty otherwise.
+        self.resumed_shards = 0
+        self.fresh_shards = 0
+        self.stolen_chunks = 0
+        self.shard_stats: list[dict[str, Any]] = []
 
     # -- persistence -------------------------------------------------------
 
@@ -384,6 +439,11 @@ class SweepRunner:
     def run(self) -> list[RunRecord]:
         """Run every pending cell; return records for *all* cells, in order."""
         started = time.perf_counter()
+        if self.executor == "sharded":
+            try:
+                return self._run_sharded()
+            finally:
+                self.elapsed = time.perf_counter() - started
         done = self._load_done()
         keys = [scenario_key(s) for s in self.scenarios]
         pending: list[Scenario] = []
@@ -460,6 +520,54 @@ class SweepRunner:
             out.append(value)
         return out
 
+    def _run_sharded(self) -> list[RunRecord]:
+        """Delegate to the :mod:`repro.fabric` work-stealing executor.
+
+        The fabric runs the *unique* cells (duplicates collapse exactly as
+        on the other executors) with ``jsonl_path`` as its shard
+        directory — or an ephemeral one when no path was given — and this
+        wrapper maps its stats back onto the runner's counters.
+        """
+        from repro.fabric.dispatcher import ShardedSweep
+
+        unique: list[Scenario] = []
+        unique_keys: list[str] = []
+        keys = [scenario_key(s) for s in self.scenarios]
+        seen: set[str] = set()
+        for scenario, key in zip(self.scenarios, keys):
+            if key not in seen:
+                unique.append(scenario)
+                unique_keys.append(key)
+                seen.add(key)
+        fabric = ShardedSweep(
+            unique,
+            directory=self.jsonl_path,
+            processes=self.processes,
+            shards=self.shards,
+            chunk_size=self.chunk_size,
+            keys=unique_keys,  # already computed for the dedupe above
+        )
+        records = fabric.run()
+        self.executed = fabric.executed
+        self.resumed = fabric.resumed
+        self.resumed_shards = fabric.resumed_shards
+        self.fresh_shards = fabric.fresh_shards
+        self.stolen_chunks = fabric.stolen_chunks
+        self.shard_stats = fabric.shard_stats
+        if len(unique) == len(keys):  # no duplicates: fabric order IS grid order
+            return records
+        done = dict(zip(unique_keys, records))
+        out: list[RunRecord] = []
+        emitted: set[str] = set()
+        for key in keys:
+            value = done[key]
+            if key in emitted:
+                value = value.normalized()  # fresh containers per duplicate
+            else:
+                emitted.add(key)
+            out.append(value)
+        return out
+
     def _run_pool(self, pending, pending_keys, done, fh, buffer) -> None:
         import multiprocessing
 
@@ -468,17 +576,18 @@ class SweepRunner:
         workers = self.processes or os.cpu_count() or 2
         chunk_size = self._effective_chunk_size(len(pending), workers)
         key_chunks = list(self._chunks(pending_keys, chunk_size))
+        initializer, initargs = None, ()
         if self.wire == "delta":
-            # One shared base per chunk (its first cell); every other cell
-            # crosses the pool boundary as a compact CellDelta.
-            tasks = []
-            for idx, chunk in enumerate(self._chunks(pending, chunk_size)):
-                base = chunk[0]
-                tasks.append((
-                    idx,
-                    base.to_dict(),
-                    [scenario_delta(base, cell) for cell in chunk],
-                ))
+            # One sweep-wide base scenario, shipped once per worker via the
+            # pool initializer; every cell crosses the pool boundary as a
+            # compact CellDelta against it.
+            base = pending[0]
+            base_dict = base.to_dict()
+            initializer, initargs = _pool_init_base, (base_dict,)
+            tasks = [
+                (idx, [scenario_delta(base, cell) for cell in chunk])
+                for idx, chunk in enumerate(self._chunks(pending, chunk_size))
+            ]
             worker = _run_chunk_delta
         else:
             tasks = [
@@ -487,9 +596,12 @@ class SweepRunner:
             ]
             worker = _run_chunk
         workers = max(1, min(workers, len(tasks)))
-        with multiprocessing.Pool(processes=workers) as pool:
+        with multiprocessing.Pool(
+            processes=workers, initializer=initializer, initargs=initargs
+        ) as pool:
             for idx, result in pool.imap_unordered(worker, tasks):
                 if self.wire == "delta":
+                    result["base"] = base_dict  # stripped worker-side
                     records = RecordBatch.from_payload(result).to_records()
                 else:
                     records = [RunRecord.from_dict(row) for row in result]
@@ -552,29 +664,82 @@ def _group_key(s: Scenario) -> tuple:
     )
 
 
-def summarize_records(
-    records: Iterable[RunRecord] | RecordBatch,
-) -> list[CellSummary]:
-    """Group records by cell (everything but the seed) and aggregate.
+class _CellAggregate:
+    """Incremental accumulator for one cell group (streaming summaries)."""
 
-    Accepts any record iterable or a :class:`RecordBatch` (aggregated
-    straight off its columns).  Cells differing only in
-    workload/timing/params get separate rows (their displayed columns may
-    coincide; the averages never mix).  Grouping runs over cheap
-    per-record tuples; the canonical non-seed config JSON — previously
-    recomputed per *record* as a Scenario copy plus a JSON dump per
-    cell — is computed once per **group**, only to order the output rows
-    exactly as before.
+    __slots__ = ("scenario", "seeds", "sum_rounds", "max_round",
+                 "sum_messages", "sum_bits", "spec_ok", "sum_time", "n_time")
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario  # the group's first record's scenario
+        self.seeds = 0
+        self.sum_rounds = 0
+        self.max_round = 0
+        self.sum_messages = 0
+        self.sum_bits = 0
+        self.spec_ok = True
+        self.sum_time = 0.0
+        self.n_time = 0
+
+    def add(self, record: RunRecord) -> None:
+        self.seeds += 1
+        self.sum_rounds += record.last_decision_round
+        if record.last_decision_round > self.max_round or self.seeds == 1:
+            self.max_round = record.last_decision_round
+        self.sum_messages += record.messages_sent
+        self.sum_bits += record.bits_sent
+        self.spec_ok = self.spec_ok and record.spec_ok
+        if record.sim_time is not None:
+            self.sum_time += record.sim_time
+            self.n_time += 1
+
+    def summary(self) -> CellSummary:
+        s = self.scenario
+        return CellSummary(
+            algorithm=s.algorithm,
+            n=s.n,
+            t=s.t,
+            f=s.f,
+            adversary=s.adversary,
+            seeds=self.seeds,
+            mean_last_round=self.sum_rounds / self.seeds,
+            max_last_round=self.max_round,
+            mean_messages=self.sum_messages / self.seeds,
+            mean_bits=self.sum_bits / self.seeds,
+            spec_ok=self.spec_ok,
+            mean_sim_time=self.sum_time / self.n_time if self.n_time else None,
+        )
+
+
+def summarize_record_sources(
+    sources: Iterable[Iterable[RunRecord] | RecordBatch],
+) -> list[CellSummary]:
+    """Streaming :func:`summarize_records` over multiple record sources.
+
+    Each source is any record iterable (a list, a lazy generator over one
+    shard file — see :func:`repro.fabric.atlas.iter_shard_records`) or a
+    :class:`RecordBatch`.  Aggregation is incremental: only one
+    accumulator per distinct cell group stays in memory, never the
+    records themselves, so a million-cell sweep spread over per-shard
+    files reduces in shard-file-sized working memory.  The output —
+    grouping, ordering, and every mean — is identical to feeding all
+    records to :func:`summarize_records` at once (sums accumulate in the
+    same record order).
     """
-    if isinstance(records, RecordBatch):
-        records = records.to_records()
-    groups: dict[tuple, list[RunRecord]] = {}
-    for record in records:
-        groups.setdefault(_group_key(record.scenario), []).append(record)
+    groups: dict[tuple, _CellAggregate] = {}
+    for source in sources:
+        if isinstance(source, RecordBatch):
+            source = source.to_records()
+        for record in source:
+            key = _group_key(record.scenario)
+            agg = groups.get(key)
+            if agg is None:
+                agg = groups[key] = _CellAggregate(record.scenario)
+            agg.add(record)
     ordered = sorted(
         groups.values(),
-        key=lambda group: (
-            (s := group[0].scenario).algorithm,
+        key=lambda agg: (
+            (s := agg.scenario).algorithm,
             s.n,
             -1 if s.t is None else s.t,  # t=None ("auto") sorts first
             s.f,
@@ -582,23 +747,21 @@ def summarize_records(
             s.with_(seed=0).to_json(),  # the full non-seed configuration
         ),
     )
-    out = []
-    for group in ordered:
-        s = group[0].scenario
-        rounds = [r.last_decision_round for r in group]
-        times = [r.sim_time for r in group if r.sim_time is not None]
-        out.append(CellSummary(
-            algorithm=s.algorithm,
-            n=s.n,
-            t=s.t,
-            f=s.f,
-            adversary=s.adversary,
-            seeds=len(group),
-            mean_last_round=sum(rounds) / len(group),
-            max_last_round=max(rounds),
-            mean_messages=sum(r.messages_sent for r in group) / len(group),
-            mean_bits=sum(r.bits_sent for r in group) / len(group),
-            spec_ok=all(r.spec_ok for r in group),
-            mean_sim_time=sum(times) / len(times) if times else None,
-        ))
-    return out
+    return [agg.summary() for agg in ordered]
+
+
+def summarize_records(
+    records: Iterable[RunRecord] | RecordBatch,
+) -> list[CellSummary]:
+    """Group records by cell (everything but the seed) and aggregate.
+
+    Accepts any record iterable or a :class:`RecordBatch`.  Cells
+    differing only in workload/timing/params get separate rows (their
+    displayed columns may coincide; the averages never mix).  Grouping
+    runs over cheap per-record tuples into incremental per-group
+    accumulators (records are never retained); the canonical non-seed
+    config JSON is computed once per **group**, only to order the output
+    rows.  For many sources — e.g. per-shard files — use
+    :func:`summarize_record_sources` directly.
+    """
+    return summarize_record_sources((records,))

@@ -1,0 +1,102 @@
+"""Atlas layer: streaming reduction, deterministic artifact, completeness."""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import asdict
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric import (
+    atlas_summaries,
+    build_atlas,
+    iter_directory_records,
+    write_atlas,
+)
+from repro.fabric.manifest import ShardManifest, grid_hash
+from repro.scenarios import (
+    SweepRunner,
+    expand_grid,
+    summarize_records,
+)
+from repro.scenarios.scenario import scenario_key
+
+
+def grid():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return expand_grid(
+            ["crw", "early-stopping"], [5],
+            adversaries=("coordinator-killer",), seeds=3,
+        )
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return grid()
+
+
+@pytest.fixture(scope="module")
+def sharded_dir(cells, tmp_path_factory):
+    d = tmp_path_factory.mktemp("atlas") / "shards"
+    SweepRunner(cells, executor="sharded", jsonl_path=d, shards=3).run()
+    return d
+
+
+@pytest.fixture(scope="module")
+def serial_records(cells):
+    return SweepRunner(cells, executor="serial").run()
+
+
+class TestStreamingReduction:
+    def test_streaming_equals_in_memory_summaries(
+        self, sharded_dir, serial_records
+    ):
+        assert atlas_summaries(sharded_dir) == summarize_records(serial_records)
+
+    def test_directory_iteration_is_grid_order(
+        self, sharded_dir, serial_records
+    ):
+        streamed = list(iter_directory_records(sharded_dir))
+        assert streamed == serial_records
+        assert [scenario_key(r.scenario) for r in streamed] == [
+            scenario_key(r.scenario) for r in serial_records
+        ]
+
+
+class TestArtifact:
+    def test_document_shape(self, sharded_dir, cells, serial_records):
+        doc = build_atlas(sharded_dir)
+        assert doc["schema"] == 1
+        assert doc["cells"] == len(cells)
+        assert doc["shards"] == 3
+        assert doc["grid_hash"] == grid_hash(
+            [scenario_key(c) for c in cells]
+        )
+        assert doc["rows"] == [asdict(s) for s in summarize_records(serial_records)]
+
+    def test_artifact_bytes_are_deterministic(self, sharded_dir, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        doc_a = write_atlas(sharded_dir, a)
+        doc_b = write_atlas(sharded_dir, b)
+        assert doc_a == doc_b
+        assert a.read_bytes() == b.read_bytes()
+        # And the file is the canonical dump of the returned document.
+        assert json.loads(a.read_text()) == doc_a
+
+    def test_incomplete_directory_refused(self, cells, tmp_path):
+        d = tmp_path / "shards"
+        SweepRunner(cells, executor="sharded", jsonl_path=d, shards=3).run()
+        manifest = ShardManifest.load(str(d))
+        manifest.shards[1].status = "pending"
+        manifest.save()
+        with pytest.raises(ConfigurationError, match="incomplete"):
+            atlas_summaries(d)
+        with pytest.raises(ConfigurationError, match="shards"):
+            list(iter_directory_records(d))
+
+    def test_missing_manifest_refused(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="manifest"):
+            build_atlas(tmp_path)

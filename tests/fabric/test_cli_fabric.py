@@ -1,0 +1,79 @@
+"""CLI faces of the fabric: sharded ``scenario sweep`` and ``atlas summarize``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+
+@pytest.fixture
+def shard_dir(tmp_path):
+    return tmp_path / "shards"
+
+
+def _sweep(shard_dir, *extra):
+    return main([
+        "scenario", "sweep",
+        "--algorithm", "crw", "--n", "5", "--seeds", "2",
+        "--adversary", "coordinator-killer",
+        "--executor", "sharded", "--shards", "3",
+        "--jsonl", str(shard_dir),
+        *extra,
+    ])
+
+
+class TestShardedSweepCLI:
+    def test_json_carries_shard_stats(self, shard_dir, capsys):
+        assert _sweep(shard_dir, "--json") == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["executed"] == out["cells"] > 0
+        assert out["fresh_shards"] == 3 and out["resumed_shards"] == 0
+        assert isinstance(out["stolen_chunks"], int)
+        assert [s["id"] for s in out["shards"]] == [0, 1, 2]
+        assert sum(s["cells"] for s in out["shards"]) == out["cells"]
+        for s in out["shards"]:
+            assert s["cells_per_s"] > 0
+
+    def test_resume_reports_resumed_shards(self, shard_dir, capsys):
+        assert _sweep(shard_dir) == 0
+        capsys.readouterr()
+        assert _sweep(shard_dir, "--json") == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["executed"] == 0 and out["resumed"] == out["cells"]
+        assert out["resumed_shards"] == 3 and out["fresh_shards"] == 0
+        # Wholesale-resumed shards have no throughput of their own.
+        assert all(s["cells_per_s"] is None for s in out["shards"])
+
+    def test_progress_line_reports_shard_counts(self, shard_dir, capsys):
+        assert _sweep(shard_dir) == 0
+        out = capsys.readouterr().out
+        assert "shards: 3 fresh, 0 resumed" in out
+        assert _sweep(shard_dir) == 0
+        out = capsys.readouterr().out
+        assert "shards: 0 fresh, 3 resumed" in out
+
+
+class TestAtlasCLI:
+    def test_summarize_table_and_artifact(self, shard_dir, tmp_path, capsys):
+        assert _sweep(shard_dir) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "atlas.json"
+        code = main([
+            "atlas", "summarize", "--dir", str(shard_dir),
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "atlas:" in printed and "crw" in printed
+        doc = json.loads(out_path.read_text())
+        assert doc["shards"] == 3 and doc["rows"]
+
+    def test_summarize_json(self, shard_dir, capsys):
+        assert _sweep(shard_dir) == 0
+        capsys.readouterr()
+        assert main(["atlas", "summarize", "--dir", str(shard_dir), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert all(row["spec_ok"] for row in doc["rows"])

@@ -1,0 +1,108 @@
+"""Shard planning and manifest: determinism, round-trip, resume validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.manifest import (
+    ShardManifest,
+    ShardSpec,
+    grid_hash,
+    plan_shards,
+    shard_hash,
+)
+
+KEYS = [f"cell-{i:03d}" for i in range(23)]
+
+
+class TestPlanShards:
+    def test_partition_covers_grid_contiguously(self):
+        specs = plan_shards(KEYS, 5)
+        assert [s.id for s in specs] == [0, 1, 2, 3, 4]
+        assert specs[0].start == 0 and specs[-1].stop == len(KEYS)
+        for prev, cur in zip(specs, specs[1:]):
+            assert cur.start == prev.stop
+
+    def test_near_equal_sizes_first_shards_get_the_extra(self):
+        specs = plan_shards(KEYS, 5)  # 23 = 5+5+5+4+4
+        assert [s.cells for s in specs] == [5, 5, 5, 4, 4]
+
+    def test_plan_is_deterministic(self):
+        assert plan_shards(KEYS, 7) == plan_shards(KEYS, 7)
+
+    def test_shard_count_clamped_to_cell_count(self):
+        specs = plan_shards(KEYS[:3], 16)
+        assert len(specs) == 3 and all(s.cells == 1 for s in specs)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards([], 4)
+
+    def test_content_hashes_cover_exactly_the_shard_range(self):
+        specs = plan_shards(KEYS, 3)
+        for s in specs:
+            assert s.content_hash == shard_hash(KEYS, s.start, s.stop)
+        assert specs[0].content_hash != specs[1].content_hash
+
+
+class TestManifestPersistence:
+    def test_round_trip(self, tmp_path):
+        d = str(tmp_path)
+        manifest = ShardManifest.load_or_create(d, KEYS, 4)
+        loaded = ShardManifest.load(d)
+        assert loaded.cells == len(KEYS)
+        assert loaded.grid == grid_hash(KEYS)
+        assert loaded.shards == manifest.shards
+
+    def test_mark_done_persists_atomically(self, tmp_path):
+        d = str(tmp_path)
+        manifest = ShardManifest.load_or_create(d, KEYS, 4)
+        manifest.mark_done(2)
+        loaded = ShardManifest.load(d)
+        assert [s.status for s in loaded.shards] == [
+            "pending", "pending", "done", "pending"
+        ]
+
+    def test_existing_manifest_wins_over_requested_shard_count(self, tmp_path):
+        d = str(tmp_path)
+        ShardManifest.load_or_create(d, KEYS, 4)
+        resumed = ShardManifest.load_or_create(d, KEYS, 9)
+        assert len(resumed.shards) == 4  # the on-disk plan, not the request
+
+    def test_different_grid_rejected(self, tmp_path):
+        d = str(tmp_path)
+        ShardManifest.load_or_create(d, KEYS, 4)
+        with pytest.raises(ConfigurationError, match="different grid"):
+            ShardManifest.load_or_create(d, KEYS + ["extra"], 4)
+
+    def test_reordered_grid_rejected_by_shard_hashes(self, tmp_path):
+        d = str(tmp_path)
+        ShardManifest.load_or_create(d, KEYS, 4)
+        reordered = list(reversed(KEYS))  # same cells, same grid length
+        with pytest.raises(ConfigurationError):
+            ShardManifest.load_or_create(d, reordered, 4)
+
+    def test_unreadable_manifest_rejected(self, tmp_path):
+        d = str(tmp_path)
+        (tmp_path / "manifest.json").write_text("{ torn", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            ShardManifest.load(d)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        d = str(tmp_path)
+        ShardManifest.load_or_create(d, KEYS, 2)
+        doc = json.loads((tmp_path / "manifest.json").read_text())
+        doc["schema"] = 99
+        (tmp_path / "manifest.json").write_text(json.dumps(doc))
+        with pytest.raises(ConfigurationError, match="schema"):
+            ShardManifest.load(d)
+
+
+class TestShardSpec:
+    def test_dict_round_trip(self):
+        spec = ShardSpec(id=3, start=10, stop=14, file="shard-0003.jsonl",
+                         content_hash="abc", status="done")
+        assert ShardSpec.from_dict(spec.to_dict()) == spec

@@ -1,0 +1,69 @@
+"""summarize_record_sources: incremental aggregation over many sources."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.scenarios import (
+    RecordBatch,
+    SweepRunner,
+    expand_grid,
+    summarize_record_sources,
+    summarize_records,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        cells = expand_grid(
+            ["crw", "mr99"], [4, 5],
+            adversaries=("coordinator-killer",), seeds=3,
+        )
+    return SweepRunner(cells, executor="serial").run()
+
+
+class TestStreamingEquivalence:
+    def test_split_sources_equal_one_shot(self, records):
+        one_shot = summarize_records(records)
+        mid = len(records) // 2
+        assert summarize_record_sources([records[:mid], records[mid:]]) == one_shot
+        # Per-record sources (the shard-file shape: many small iterables).
+        assert summarize_record_sources([[r] for r in records]) == one_shot
+
+    def test_lazy_generator_sources(self, records):
+        def chunks(size):
+            for i in range(0, len(records), size):
+                yield iter(records[i : i + size])
+
+        assert summarize_record_sources(chunks(7)) == summarize_records(records)
+
+    def test_record_batch_sources(self, records):
+        mid = len(records) // 3
+        sources = [
+            RecordBatch.from_records(records[:mid]),
+            records[mid:],  # mixed source kinds in one pass
+        ]
+        assert summarize_record_sources(sources) == summarize_records(records)
+
+    def test_mean_floats_accumulate_in_record_order(self, records):
+        # Split points never change the float sums: addition happens in
+        # the same record order regardless of source boundaries, so the
+        # means are bit-equal, not approximately equal.
+        one_shot = summarize_records(records)
+        for split in (1, 2, 5, len(records) - 1):
+            split_rows = summarize_record_sources(
+                [records[:split], records[split:]]
+            )
+            for a, b in zip(split_rows, one_shot):
+                assert a.mean_last_round == b.mean_last_round
+                assert a.mean_messages == b.mean_messages
+                assert a.mean_bits == b.mean_bits
+                assert a.mean_sim_time == b.mean_sim_time
+
+    def test_empty_sources(self):
+        assert summarize_record_sources([]) == []
+        assert summarize_record_sources([[], []]) == []
