@@ -13,8 +13,15 @@ architecture the ROADMAP's million-cell tradeoff atlases run on:
   the torn-tail-healing per-cell resume;
 * :mod:`~repro.fabric.dispatcher` — :class:`ShardedSweep`, the
   work-stealing dispatcher over long-lived worker processes;
+* :mod:`~repro.fabric.supervisor` — worker lifecycle supervision for
+  the dispatcher: heartbeat-driven liveness, terminate→kill retirement,
+  respawn with incarnation tracking, slab-safe shutdown;
+* :mod:`~repro.fabric.faults` — deterministic fault injection
+  (:class:`FaultPlan`: worker kills, hangs, poison cells, torn writes)
+  so every recovery path is exercised by ordinary pytest;
 * :mod:`~repro.fabric.atlas` — merge-on-read reduction of a shard
-  directory into the regeneratable tradeoff-atlas artifact.
+  directory into the regeneratable tradeoff-atlas artifact (honest
+  about quarantined coverage).
 
 ``SweepRunner(executor="sharded")`` and ``repro-consensus scenario
 sweep --executor sharded`` / ``repro-consensus atlas summarize`` are the
@@ -28,14 +35,29 @@ from repro.fabric.atlas import (
     write_atlas,
 )
 from repro.fabric.dispatcher import ShardedSweep
-from repro.fabric.manifest import ShardManifest, ShardSpec, grid_hash, plan_shards
+from repro.fabric.faults import FaultInjected, FaultPlan, FaultSpec, parse_chaos
+from repro.fabric.manifest import (
+    QuarantineLog,
+    ShardManifest,
+    ShardSpec,
+    grid_hash,
+    plan_shards,
+)
 from repro.fabric.shardio import heal_torn_tail, iter_shard_records, load_shard_index
 from repro.fabric.shm import ScalarSlab
+from repro.fabric.supervisor import Supervisor, WorkerHandle
 
 __all__ = [
     "ShardedSweep",
     "ShardManifest",
     "ShardSpec",
+    "QuarantineLog",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjected",
+    "parse_chaos",
+    "Supervisor",
+    "WorkerHandle",
     "plan_shards",
     "grid_hash",
     "ScalarSlab",

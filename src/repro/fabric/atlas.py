@@ -16,6 +16,13 @@ same results" checkable byte-for-byte: an interrupted-and-resumed sweep
 must produce an atlas identical to an uninterrupted run's (pinned by
 ``tests/fabric/test_sharded_durability.py``).
 
+A directory whose sweep quarantined poison cells (see
+:class:`repro.fabric.manifest.QuarantineLog`) still summarizes: shards
+marked ``"quarantined"`` are complete except for the quarantined cells,
+and the atlas reports the shortfall honestly — ``quarantined`` counts
+the excluded cells and ``covered_cells`` is what the rows actually
+aggregate over, so partial coverage can never masquerade as full.
+
 ``repro-consensus atlas summarize --dir DIR`` is the CLI face.
 """
 
@@ -27,7 +34,7 @@ from dataclasses import asdict
 from typing import Any, Iterator
 
 from repro.errors import ConfigurationError
-from repro.fabric.manifest import ShardManifest
+from repro.fabric.manifest import QuarantineLog, ShardManifest
 from repro.fabric.shardio import iter_shard_records
 from repro.scenarios.record import RunRecord
 from repro.scenarios.sweep import CellSummary, summarize_record_sources
@@ -40,11 +47,16 @@ __all__ = [
     "iter_directory_records",
 ]
 
-ATLAS_SCHEMA = 1
+ATLAS_SCHEMA = 2
 
 
 def _shard_files(manifest: ShardManifest) -> list[str]:
-    missing = [s.id for s in manifest.shards if s.status != "done"]
+    # "quarantined" shards are complete minus their quarantine.json
+    # cells — their files hold every record that exists, so they merge.
+    missing = [
+        s.id for s in manifest.shards
+        if s.status not in ("done", "quarantined")
+    ]
     if missing:
         raise ConfigurationError(
             f"shard directory {manifest.directory!r} is incomplete: shards "
@@ -81,10 +93,13 @@ def build_atlas(directory: str | os.PathLike[str]) -> dict[str, Any]:
     """
     directory = os.fspath(directory)
     manifest = ShardManifest.load(directory)
+    quarantine = QuarantineLog.load(directory)
     rows = [asdict(summary) for summary in atlas_summaries(directory)]
     return {
         "schema": ATLAS_SCHEMA,
         "cells": manifest.cells,
+        "covered_cells": manifest.cells - len(quarantine),
+        "quarantined": len(quarantine),
         "shards": len(manifest.shards),
         "grid_hash": manifest.grid,
         "rows": rows,

@@ -1,4 +1,4 @@
-"""The sharded sweep executor: work-stealing dispatch over shard workers.
+"""The sharded sweep executor: work-stealing dispatch over supervised workers.
 
 :class:`ShardedSweep` runs an expanded grid as shards (see
 :mod:`repro.fabric.manifest`) over long-lived worker processes:
@@ -24,11 +24,29 @@
 * **Resume** — the manifest skips ``"done"`` shards wholesale; a
   partially-written shard re-runs only the cells missing from its file
   (per-cell torn-tail-healing resume, worker side).
+* **Supervision** — a dead worker (pipe EOF) or a hung one (no
+  result/heartbeat within ``liveness_timeout`` while holding work) is
+  killed with terminate→kill escalation, its outstanding shards are
+  requeued, its slab is retired, and a replacement is spawned at the
+  same index (incarnation + 1) up to ``max_respawns``
+  (:mod:`repro.fabric.supervisor`).  A shard that keeps failing is
+  retried with exponential backoff up to ``max_shard_retries`` times;
+  after that an attributed failing cell is **quarantined**
+  (``quarantine.json`` — :class:`~repro.fabric.manifest.QuarantineLog`)
+  and the rest of the shard completes, while an unattributed repeat
+  killer is probed cell-by-cell in the parent to isolate the poison.
+  If the respawn budget runs out, remaining shards drain in-process
+  (serial fallback) — the sweep degrades, it does not raise.
+* **Fault injection** — a bound :class:`~repro.fabric.faults.FaultPlan`
+  rides the worker spawn args and injects worker death, hangs, poison
+  cells, and torn writes at deterministic points, so every recovery
+  path above is exercised by ordinary pytest (``tests/fabric/``).
 
 Cell order inside a shard is the grid order, so the record set — and
 the atlas reduced from the shard files — is byte-identical across
 worker counts, steal schedules, and kill/resume histories (pinned by
-``tests/fabric/``).
+``tests/fabric/``); quarantined cells are simply absent (``None`` in
+collected results).
 
 The cell wire format is PR 5's :func:`CellDelta
 <repro.scenarios.scenario.scenario_delta>` against one shared base
@@ -44,22 +62,43 @@ import tempfile
 import time
 import traceback
 from collections import deque
+from heapq import heappop, heappush
+from itertools import count as _counter
 from multiprocessing import connection as mp_connection
 from multiprocessing import get_context
 from typing import Any, Iterable, Sequence
 
 from repro.errors import ConfigurationError
-from repro.fabric.manifest import ShardManifest, ShardSpec
+from repro.fabric.faults import FaultPlan
+from repro.fabric.manifest import QuarantineLog, ShardManifest, ShardSpec
 from repro.fabric.shardio import append_batch, heal_torn_tail, load_shard_index
-from repro.fabric.shm import DEPTH, ScalarSlab
+from repro.fabric.shm import ScalarSlab
+from repro.fabric.supervisor import Supervisor, WorkerHandle
 from repro.scenarios.execute import EngineLease, execute
 from repro.scenarios.record import RecordBatch, RunRecord
 from repro.scenarios.scenario import Scenario, scenario_delta, scenario_key
 
 __all__ = ["ShardedSweep"]
 
+#: Exit code of a fault-injected worker death (distinguishable from
+#: crashes in test output; the parent treats any death the same way).
+_FAULT_EXIT = 17
+
+#: Backoff ceiling: retries are about letting transients clear, not
+#: about stalling a sweep.
+_MAX_BACKOFF_S = 2.0
+
 
 # -- worker side -------------------------------------------------------------
+
+
+class _CellFailure(Exception):
+    """A cell raised inside a shard: carries the global index + traceback."""
+
+    def __init__(self, cell: int, tb: str) -> None:
+        super().__init__(f"cell {cell} failed")
+        self.cell = cell
+        self.tb = tb
 
 
 def _shard_chunk_size(cells: int, chunk_size: int | None) -> int:
@@ -78,8 +117,22 @@ def _run_shard(
     chunk_size: int | None,
     slab: ScalarSlab,
     slot: int,
+    *,
+    start: int = 0,
+    skip: frozenset[int] = frozenset(),
+    attempt: int = 0,
+    faults: FaultPlan | None = None,
+    torn: bool = False,
+    notify: Any = None,
 ) -> tuple[int, int, float, dict[str, list]]:
-    """Execute one shard: per-cell resume, chunked appends, slab publish."""
+    """Execute one shard: per-cell resume, chunked appends, slab publish.
+
+    ``skip`` holds quarantined *global* cell indices — those cells are
+    not run, not written, and not published (the parent pads their
+    result positions with ``None``).  A cell that raises aborts the
+    shard with :class:`_CellFailure` *after* flushing completed work,
+    so retries only re-run from the failure onward.
+    """
     if os.path.exists(path):
         done = load_shard_index(path)
         heal_torn_tail(path)
@@ -90,9 +143,30 @@ def _run_shard(
     records: list[RunRecord] = []
     buffer: list[RunRecord] = []
     buffer_deltas: list[dict[str, Any]] = []
-    executed = resumed = 0
+    executed = resumed = flushed = 0
     with open(path, "a", encoding="utf-8") as fh:
-        for delta in deltas:
+
+        def flush() -> None:
+            nonlocal flushed
+            if not buffer:
+                return
+            append_batch(fh, buffer, base_dict, buffer_deltas)
+            buffer.clear()
+            buffer_deltas.clear()
+            flushed += 1
+            if torn and flushed == 1:
+                # Injected torn write: leave a half line (no newline) and
+                # die — the retry must heal the tail before resuming.
+                fh.write('{"torn"')
+                fh.flush()
+                os._exit(_FAULT_EXIT)
+            if notify is not None:
+                notify()
+
+        for offset, delta in enumerate(deltas):
+            index = start + offset
+            if index in skip:
+                continue
             cell = base.with_(**delta) if delta else base
             if done:  # resume: key lookups only when the file had records
                 prior = done.get(scenario_key(cell))
@@ -100,17 +174,20 @@ def _run_shard(
                     records.append(prior)
                     resumed += 1
                     continue
-            record = execute(cell, trace=False, lease=lease).normalized()
+            try:
+                if faults is not None:
+                    faults.check_cell(index, attempt)
+                record = execute(cell, trace=False, lease=lease).normalized()
+            except Exception:
+                flush()  # persist finished cells before reporting the poison
+                raise _CellFailure(index, traceback.format_exc()) from None
             records.append(record)
             buffer.append(record)
             buffer_deltas.append(delta)
             executed += 1
             if len(buffer) >= flush_every:
-                append_batch(fh, buffer, base_dict, buffer_deltas)
-                buffer.clear()
-                buffer_deltas.clear()
-        append_batch(fh, buffer, base_dict, buffer_deltas)
-        buffer.clear()
+                flush()
+        flush()
     elapsed = time.perf_counter() - started
     batch = RecordBatch.from_records(records)
     slab.write(slot, batch)
@@ -133,11 +210,26 @@ def _worker_main(
     base_dict: dict[str, Any],
     directory: str,
     chunk_size: int | None,
+    faults: FaultPlan | None = None,
+    worker_id: int = 0,
+    incarnation: int = 0,
+    heartbeat: bool = False,
 ) -> None:
-    """Long-lived shard worker: recv shard tasks until ``stop`` (or EOF)."""
+    """Long-lived shard worker: recv shard tasks until ``stop`` (or EOF).
+
+    A failing shard no longer kills the worker: the failure (with the
+    guilty cell's global index when attributable) goes back over the
+    pipe and the worker takes the next task on a fresh engine lease.
+    ``faults`` (already bound) injects death/hang/torn/poison at the
+    documented points; ``heartbeat`` adds an ``("hb", shard_id)`` pipe
+    message per flushed chunk for the parent's liveness clock.
+    """
     slab = ScalarSlab.attach(shm_name, capacity)
     base = Scenario.from_dict(base_dict)
     lease = EngineLease()
+    completed = 0
+    if faults is not None and faults.kill_now(completed, worker_id, incarnation):
+        os._exit(_FAULT_EXIT)  # kill with after=0: die before the first task
     try:
         while True:
             try:
@@ -146,16 +238,38 @@ def _worker_main(
                 return  # parent died; the manifest makes the rerun resume
             if msg[0] == "stop":
                 return
-            _, shard_id, slot, file_name, deltas = msg
+            _, shard_id, slot, file_name, start, deltas, skip, attempt = msg
+            torn = False
+            if faults is not None:
+                pause = faults.hang_for(shard_id, worker_id, incarnation)
+                if pause is not None:
+                    time.sleep(pause)
+                torn = faults.torn_on(shard_id, worker_id, incarnation)
+            notify = None
+            if heartbeat:
+                def notify(sid=shard_id):  # noqa: E306 - per-shard closure
+                    conn.send(("hb", sid))
             try:
                 result = _run_shard(
                     base, base_dict, lease, os.path.join(directory, file_name),
                     deltas, chunk_size, slab, slot,
+                    start=start, skip=frozenset(skip), attempt=attempt,
+                    faults=faults, torn=torn, notify=notify,
                 )
+            except _CellFailure as fail:
+                conn.send(("error", shard_id, slot, fail.cell, fail.tb))
+                lease = EngineLease()  # drop possibly mid-run engine state
+                continue
             except Exception:
-                conn.send(("error", shard_id, traceback.format_exc()))
-                return
+                conn.send(("error", shard_id, slot, None, traceback.format_exc()))
+                lease = EngineLease()
+                continue
             conn.send(("shard", shard_id, slot, *result))
+            completed += 1
+            if faults is not None and faults.kill_now(
+                completed, worker_id, incarnation
+            ):
+                os._exit(_FAULT_EXIT)
     finally:
         slab.close()
         conn.close()
@@ -194,9 +308,29 @@ class ShardedSweep:
         measurable at atlas scale).  ``None`` computes them here.
     collect:
         ``True`` returns every cell's record (merge-on-read over done
-        shards); ``False`` skips collection entirely — completed shard
-        files are *never read* — for atlas-scale sweeps reduced later by
+        shards; quarantined cells come back as ``None``); ``False``
+        skips collection entirely — completed shard files are *never
+        read* — for atlas-scale sweeps reduced later by
         :mod:`repro.fabric.atlas`.
+    faults:
+        A :class:`~repro.fabric.faults.FaultPlan` to inject
+        deterministic failures (tests / ``--chaos``); ``None`` (the
+        default) adds zero per-cell work.
+    liveness_timeout:
+        Seconds without any pipe traffic (results or per-chunk
+        heartbeats) after which a worker *holding work* is declared
+        hung and replaced.  ``None`` (default) disables hang detection;
+        death detection (pipe EOF) is always on.
+    max_respawns:
+        Replacement-worker budget for the whole sweep (default: the
+        worker count).  Exhausting it degrades to in-process draining
+        instead of raising.
+    max_shard_retries:
+        Times a shard may fail before its failure is isolated
+        (quarantine the attributed cell, or probe cell-by-cell).
+    retry_backoff_s:
+        Base of the exponential retry backoff (doubles per failure,
+        capped at 2s).
     """
 
     def __init__(
@@ -209,6 +343,11 @@ class ShardedSweep:
         chunk_size: int | None = None,
         keys: Sequence[str] | None = None,
         collect: bool = True,
+        faults: FaultPlan | None = None,
+        liveness_timeout: float | None = None,
+        max_respawns: int | None = None,
+        max_shard_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         self.cells = list(cells)
         if keys is not None and len(keys) != len(self.cells):
@@ -224,10 +363,31 @@ class ShardedSweep:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if liveness_timeout is not None and liveness_timeout <= 0:
+            raise ConfigurationError(
+                f"liveness_timeout must be > 0, got {liveness_timeout}"
+            )
+        if max_respawns is not None and max_respawns < 0:
+            raise ConfigurationError(
+                f"max_respawns must be >= 0, got {max_respawns}"
+            )
+        if max_shard_retries < 0:
+            raise ConfigurationError(
+                f"max_shard_retries must be >= 0, got {max_shard_retries}"
+            )
+        if retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self.processes = processes
         self.shards = shards
         self.chunk_size = chunk_size
         self.collect = collect
+        self.faults = faults
+        self.liveness_timeout = liveness_timeout
+        self.max_respawns = max_respawns
+        self.max_shard_retries = max_shard_retries
+        self.retry_backoff_s = retry_backoff_s
         #: Cells actually executed / loaded back by the last :meth:`run`.
         self.executed = 0
         self.resumed = 0
@@ -236,18 +396,25 @@ class ShardedSweep:
         self.fresh_shards = 0
         #: Shards an idle worker stole from another worker's queue.
         self.stolen_chunks = 0
+        #: Supervision counters: shard failures handled (requeues),
+        #: replacement workers spawned, quarantined cells on disk.
+        self.retries = 0
+        self.respawns = 0
+        self.quarantined = 0
         #: Per-shard stats dicts (id, cells, executed, resumed, elapsed_s,
-        #: cells_per_s, worker, stolen), in shard-id order.
+        #: cells_per_s, worker, stolen, retries, quarantined), shard-id order.
         self.shard_stats: list[dict[str, Any]] = []
         self.elapsed = 0.0
 
     # -- public ------------------------------------------------------------
 
-    def run(self) -> list[RunRecord] | None:
-        """Run/resume the sweep; records in cell order (None if not collecting)."""
+    def run(self) -> list[RunRecord | None] | None:
+        """Run/resume the sweep; records in cell order (``None`` per
+        quarantined cell; ``None`` overall if not collecting)."""
         started = time.perf_counter()
         self.executed = self.resumed = 0
         self.resumed_shards = self.fresh_shards = self.stolen_chunks = 0
+        self.retries = self.respawns = self.quarantined = 0
         self.shard_stats = []
         tmp = None
         directory = self.directory
@@ -264,7 +431,7 @@ class ShardedSweep:
 
     # -- internals ---------------------------------------------------------
 
-    def _run_in(self, directory: str) -> list[RunRecord] | None:
+    def _run_in(self, directory: str) -> list[RunRecord | None] | None:
         cells = self.cells
         if not cells:
             return [] if self.collect else None
@@ -277,6 +444,11 @@ class ShardedSweep:
         workers = self.processes or os.cpu_count() or 2
         shard_count = self.shards or max(1, workers * 4)
         manifest = ShardManifest.load_or_create(directory, keys, shard_count)
+        quarantine = QuarantineLog.load(directory)
+        # Quarantine is sticky: global cell index sets per owning shard.
+        skips: dict[int, set[int]] = {}
+        for cell_index, entry in quarantine.entries.items():
+            skips.setdefault(int(entry["shard"]), set()).add(cell_index)
 
         results: list[RunRecord | None] | None = (
             [None] * len(cells) if self.collect else None
@@ -284,13 +456,18 @@ class ShardedSweep:
         pending: list[ShardSpec] = []
         for spec in manifest.shards:
             path = os.path.join(directory, spec.file)
-            if spec.status == "done" and os.path.exists(path):
-                if self._collect_done_shard(spec, path, keys, results):
+            if spec.status in ("done", "quarantined") and os.path.exists(path):
+                skip = skips.get(spec.id, set())
+                if self._collect_done_shard(spec, path, keys, results, skip):
                     continue
                 spec.status = "pending"  # file incomplete: fall through
             pending.append(spec)
         if pending:
-            self._dispatch(directory, manifest, pending, results, workers)
+            self._dispatch(
+                directory, manifest, pending, results, workers, keys,
+                quarantine, skips,
+            )
+        self.quarantined = len(quarantine)
         self.shard_stats.sort(key=lambda stat: stat["id"])
         return results  # type: ignore[return-value]
 
@@ -300,17 +477,22 @@ class ShardedSweep:
         path: str,
         keys: list[str],
         results: list[RunRecord | None] | None,
+        skip: set[int],
     ) -> bool:
-        """Account (and, when collecting, load) one manifest-done shard.
+        """Account (and, when collecting, load) one finished shard.
 
-        Returns False when the file no longer covers the shard's cells —
-        the shard is then demoted and re-run (its surviving records still
-        resume per-cell inside the worker).
+        Quarantined cells stay ``None`` in the results.  Returns False
+        when the file no longer covers the shard's non-quarantined
+        cells — the shard is then demoted and re-run (its surviving
+        records still resume per-cell inside the worker).
         """
         if results is not None:
             index = load_shard_index(path)
-            loaded: list[RunRecord] = []
+            loaded: list[RunRecord | None] = []
             for i in range(spec.start, spec.stop):
+                if i in skip:
+                    loaded.append(None)
+                    continue
                 record = index.get(keys[i])
                 if record is None:
                     return False
@@ -319,17 +501,19 @@ class ShardedSweep:
         # collect=False trusts the manifest outright: done shards are
         # never read here — that is the merge-on-read contract the atlas
         # layer depends on for million-cell sweeps.
-        self.resumed += spec.cells
+        self.resumed += spec.cells - len(skip)
         self.resumed_shards += 1
         self.shard_stats.append({
             "id": spec.id,
             "cells": spec.cells,
             "executed": 0,
-            "resumed": spec.cells,
+            "resumed": spec.cells - len(skip),
             "elapsed_s": 0.0,
-            "cells_per_s": None,
+            "cells_per_s": 0.0,
             "worker": None,
             "stolen": False,
+            "retries": 0,
+            "quarantined": len(skip),
         })
         return True
 
@@ -340,6 +524,9 @@ class ShardedSweep:
         pending: list[ShardSpec],
         results: list[RunRecord | None] | None,
         workers: int,
+        keys: list[str],
+        quarantine: QuarantineLog,
+        skips: dict[int, set[int]],
     ) -> None:
         cells = self.cells
         base = cells[0]
@@ -347,116 +534,309 @@ class ShardedSweep:
         n_workers = max(1, min(workers, len(pending)))
         capacity = max(spec.cells for spec in pending)
         self.fresh_shards = len(pending)
+        liveness = self.liveness_timeout
+        max_retries = self.max_shard_retries
+        backoff = self.retry_backoff_s
+        faults = (
+            self.faults.bind(
+                workers=n_workers, shards=len(manifest.shards), cells=len(cells)
+            )
+            if self.faults is not None
+            else None
+        )
 
         ctx = get_context()
-        slabs: list[ScalarSlab] = []
-        conns: list[Any] = []
-        procs: list[Any] = []
-        queues: list[deque[ShardSpec]] = [deque() for _ in range(n_workers)]
-        for i, spec in enumerate(pending):
-            queues[i % n_workers].append(spec)
-        free_slots: list[list[int]] = [list(range(DEPTH)) for _ in range(n_workers)]
-        outstanding: dict[tuple[int, int], tuple[ShardSpec, bool]] = {}
 
-        def next_spec(w: int) -> tuple[ShardSpec | None, bool]:
-            if queues[w]:
-                return queues[w].popleft(), False
-            victim = max(range(n_workers), key=lambda v: len(queues[v]))
-            if queues[victim]:
+        def spawn(child_conn, slab_name: str, index: int, incarnation: int):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, slab_name, capacity, base_dict, directory,
+                      self.chunk_size, faults, index, incarnation,
+                      liveness is not None),
+                daemon=True,
+            )
+            proc.start()
+            return proc
+
+        sup = Supervisor(
+            ctx=ctx,
+            capacity=capacity,
+            spawn=spawn,
+            max_respawns=(
+                self.max_respawns if self.max_respawns is not None else n_workers
+            ),
+        )
+
+        remaining = len(pending)
+        outstanding: dict[tuple[int, int], tuple[ShardSpec, bool]] = {}
+        attempts: dict[int, int] = {}  # shard id → failures this retry window
+        failures: dict[int, int] = {}  # shard id → failures, cumulative
+        delayed: list[tuple[float, int, ShardSpec]] = []  # backoff heap
+        seq = _counter()  # heap tiebreak (ShardSpec is not orderable)
+        probe_lease: list[EngineLease] = []  # parent-side lease, lazy
+
+        def next_spec(handle: WorkerHandle) -> tuple[ShardSpec | None, bool]:
+            if handle.queue:
+                return handle.queue.popleft(), False
+            live = sup.live()
+            victim = max(live, key=lambda h: len(h.queue), default=None)
+            if victim is not None and victim.queue:
                 self.stolen_chunks += 1
-                return queues[victim].pop(), True  # coldest end of the queue
+                return victim.queue.pop(), True  # coldest end of the queue
             return None, False
 
-        def dispatch_to(w: int) -> None:
-            while free_slots[w]:
-                spec, stolen = next_spec(w)
+        def dispatch_to(handle: WorkerHandle) -> None:
+            while handle.free_slots:
+                spec, stolen = next_spec(handle)
                 if spec is None:
                     return
-                slot = free_slots[w].pop()
+                slot = handle.free_slots.pop()
                 deltas = [
                     scenario_delta(base, cells[i])
                     for i in range(spec.start, spec.stop)
                 ]
-                conns[w].send(("shard", spec.id, slot, spec.file, deltas))
-                outstanding[(w, slot)] = (spec, stolen)
+                skip = sorted(skips.get(spec.id, ()))
+                try:
+                    handle.conn.send((
+                        "shard", spec.id, slot, spec.file, spec.start,
+                        deltas, skip, attempts.get(spec.id, 0),
+                    ))
+                except (BrokenPipeError, OSError):
+                    # The worker died between results; give the shard and
+                    # the slot back and let the wait loop reap it (EOF).
+                    handle.free_slots.append(slot)
+                    handle.queue.appendleft(spec)
+                    return
+                outstanding[(handle.index, slot)] = (spec, stolen)
+
+        def finish_shard(
+            spec: ShardSpec,
+            shard_records: list[RunRecord] | None,
+            executed: int,
+            resumed: int,
+            elapsed: float,
+            worker: int | None,
+            stolen: bool,
+        ) -> None:
+            nonlocal remaining
+            skip = skips.get(spec.id, set())
+            if results is not None and shard_records is not None:
+                padded: list[RunRecord | None] = []
+                it = iter(shard_records)
+                for i in range(spec.start, spec.stop):
+                    padded.append(None if i in skip else next(it))
+                results[spec.start:spec.stop] = padded
+            if skip:
+                manifest.mark_quarantined(spec.id)
+            else:
+                manifest.mark_done(spec.id)
+            self.executed += executed
+            self.resumed += resumed
+            self.shard_stats.append({
+                "id": spec.id,
+                "cells": spec.cells,
+                "executed": executed,
+                "resumed": resumed,
+                "elapsed_s": elapsed,
+                "cells_per_s": spec.cells / elapsed if elapsed > 0 else 0.0,
+                "worker": worker,
+                "stolen": stolen,
+                "retries": failures.get(spec.id, 0),
+                "quarantined": len(skip),
+            })
+            remaining -= 1
+
+        def quarantine_cell(spec: ShardSpec, cell: int, tb: str, n: int) -> None:
+            skips.setdefault(spec.id, set()).add(cell)
+            quarantine.add(
+                cell=cell, shard=spec.id, key=keys[cell], error=tb, attempts=n,
+            )
+
+        def probe_shard(spec: ShardSpec) -> None:
+            """Drain one shard in the parent, isolating poison per cell.
+
+            Degenerate bisection: cells resume per-cell from the shard
+            file, so probing one at a time runs each surviving cell at
+            most once while pinning blame exactly.  Used when a shard
+            exhausts retries without an attributed cell, and as the
+            serial fallback when no workers are left.
+            """
+            path = os.path.join(directory, spec.file)
+            if os.path.exists(path):
+                done = load_shard_index(path)
+                heal_torn_tail(path)
+            else:
+                done = {}
+            skip = skips.get(spec.id, set())
+            attempt = max(attempts.get(spec.id, 0), max_retries)
+            shard_records: list[RunRecord] = []
+            executed = resumed = 0
+            started = time.perf_counter()
+            with open(path, "a", encoding="utf-8") as fh:
+                for i in range(spec.start, spec.stop):
+                    if i in skip:
+                        continue
+                    prior = done.get(keys[i]) if done else None
+                    if prior is not None:
+                        shard_records.append(prior)
+                        resumed += 1
+                        continue
+                    if not probe_lease:
+                        probe_lease.append(EngineLease())
+                    try:
+                        if faults is not None:
+                            faults.check_cell(i, attempt)
+                        record = execute(
+                            cells[i], trace=False, lease=probe_lease[0]
+                        ).normalized()
+                    except Exception:
+                        quarantine_cell(
+                            spec, i, traceback.format_exc(),
+                            attempts.get(spec.id, 0) + 1,
+                        )
+                        skip = skips[spec.id]
+                        continue
+                    append_batch(
+                        fh, [record], base_dict,
+                        [scenario_delta(base, cells[i])],
+                    )
+                    shard_records.append(record)
+                    executed += 1
+            finish_shard(
+                spec, shard_records, executed, resumed,
+                time.perf_counter() - started, None, False,
+            )
+
+        def shard_failed(spec: ShardSpec, cell: int | None, tb: str) -> None:
+            """Route one shard failure: backoff retry, quarantine, or probe."""
+            n = attempts.get(spec.id, 0) + 1
+            failures[spec.id] = failures.get(spec.id, 0) + 1
+            self.retries += 1
+            if n <= max_retries:
+                attempts[spec.id] = n
+                delay = min(backoff * (2 ** (n - 1)), _MAX_BACKOFF_S)
+                heappush(delayed, (time.monotonic() + delay, next(seq), spec))
+                return
+            if cell is not None:
+                # Attributed poison: quarantine the cell, finish the rest.
+                quarantine_cell(spec, cell, tb, n)
+                attempts[spec.id] = 0
+                heappush(delayed, (time.monotonic(), next(seq), spec))
+                return
+            # Repeat killer with no attribution: isolate it in-process.
+            probe_shard(spec)
+
+        def reap(handle: WorkerHandle, reason: str) -> None:
+            """Retire a dead/hung worker, requeue its work, respawn."""
+            lost = [
+                outstanding.pop(key)
+                for key in [k for k in outstanding if k[0] == handle.index]
+            ]
+            sup.retire(handle)
+            replacement = sup.respawn(handle)
+            if replacement is None:
+                live = sup.live()
+                while handle.queue and live:
+                    target = min(live, key=lambda h: len(h.queue))
+                    target.queue.append(handle.queue.popleft())
+                # No live workers: the queue stays put for the serial drain.
+            for spec, _stolen in lost:
+                shard_failed(spec, None, reason)
 
         try:
-            for w in range(n_workers):
-                slab = ScalarSlab.create(capacity)
-                slabs.append(slab)
-                parent_conn, child_conn = ctx.Pipe()
-                conns.append(parent_conn)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, slab.name, capacity, base_dict,
-                          directory, self.chunk_size),
-                    daemon=True,
-                )
-                proc.start()
-                procs.append(proc)
-                child_conn.close()
-            conn_index = {id(conn): w for w, conn in enumerate(conns)}
-            for w in range(n_workers):
-                dispatch_to(w)
-            remaining = len(pending)
+            handles = sup.start(n_workers)
+            for i, spec in enumerate(pending):
+                handles[i % n_workers].queue.append(spec)
+            for handle in handles:
+                dispatch_to(handle)
             while remaining:
-                for conn in mp_connection.wait(conns):
-                    w = conn_index[id(conn)]
+                live = sup.live()
+                if not live:
+                    break  # respawn budget exhausted → serial fallback
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, spec = heappop(delayed)
+                    target = min(live, key=lambda h: len(h.queue))
+                    target.queue.append(spec)
+                    dispatch_to(target)
+                timeout = None
+                if delayed:
+                    timeout = max(0.0, delayed[0][0] - now)
+                if liveness is not None:
+                    tick = min(max(liveness / 4.0, 0.05), 1.0)
+                    timeout = tick if timeout is None else min(timeout, tick)
+                watched = sup.live()
+                conn_map = {id(h.conn): h for h in watched}
+                ready = mp_connection.wait([h.conn for h in watched], timeout)
+                for conn in ready:
+                    handle = conn_map[id(conn)]
+                    if not handle.alive:
+                        continue  # reaped earlier in this batch
                     try:
                         msg = conn.recv()
                     except (EOFError, OSError):
-                        raise RuntimeError(
-                            f"sharded sweep worker {w} died mid-shard; "
-                            f"rerun to resume from the manifest"
-                        ) from None
-                    if msg[0] == "error":
-                        raise RuntimeError(
-                            f"sharded sweep worker {w} failed on shard "
-                            f"{msg[1]}:\n{msg[2]}"
-                        )
+                        reap(handle, "worker died (pipe closed mid-shard)")
+                        continue
+                    handle.last_seen = time.monotonic()
+                    kind = msg[0]
+                    if kind == "hb":
+                        continue
+                    if kind == "error":
+                        _, shard_id, slot, cell, tb = msg
+                        spec, _stolen = outstanding.pop((handle.index, slot))
+                        handle.free_slots.append(slot)
+                        shard_failed(spec, cell, tb)
+                        dispatch_to(handle)
+                        continue
                     _, shard_id, slot, executed, resumed, elapsed, objects = msg
-                    spec, stolen = outstanding.pop((w, slot))
-                    scalars = slabs[w].read(slot, spec.cells)
-                    free_slots[w].append(slot)
+                    spec, stolen = outstanding.pop((handle.index, slot))
+                    skip = skips.get(spec.id, ())
+                    live_cells = spec.cells - len(skip)
+                    shard_records: list[RunRecord] | None = None
                     if results is not None:
                         batch = RecordBatch()
-                        batch.scenarios = cells[spec.start:spec.stop]
+                        batch.scenarios = [
+                            cells[i]
+                            for i in range(spec.start, spec.stop)
+                            if i not in skip
+                        ]
                         batch.backend = objects["backend"]
                         batch.decisions = objects["decisions"]
                         batch.decision_rounds = objects["decision_rounds"]
                         batch.crashed = objects["crashed"]
                         batch.violations = objects["violations"]
-                        for name, column in scalars.items():
+                        for name, column in handle.slab.read(
+                            slot, live_cells
+                        ).items():
                             setattr(batch, name, column)
-                        results[spec.start:spec.stop] = batch.to_records()
-                    self.executed += executed
-                    self.resumed += resumed
-                    manifest.mark_done(shard_id)
-                    self.shard_stats.append({
-                        "id": shard_id,
-                        "cells": spec.cells,
-                        "executed": executed,
-                        "resumed": resumed,
-                        "elapsed_s": elapsed,
-                        "cells_per_s": spec.cells / elapsed if elapsed > 0 else None,
-                        "worker": w,
-                        "stolen": stolen,
-                    })
-                    remaining -= 1
-                    dispatch_to(w)
-            for conn in conns:
-                try:
-                    conn.send(("stop",))
-                except (BrokenPipeError, OSError):
-                    pass
-            for proc in procs:
-                proc.join(timeout=10.0)
+                        shard_records = batch.to_records()
+                    handle.free_slots.append(slot)
+                    attempts.pop(spec.id, None)
+                    finish_shard(
+                        spec, shard_records, executed, resumed, elapsed,
+                        handle.index, stolen,
+                    )
+                    dispatch_to(handle)
+                if liveness is not None:
+                    for handle in sup.hung(liveness):
+                        reap(
+                            handle,
+                            f"worker hung (> {liveness}s without a "
+                            f"result or heartbeat)",
+                        )
+            if remaining:
+                # Graceful degradation: every worker is gone and the
+                # respawn budget is spent — drain what's left in-process
+                # rather than abandoning a partially-swept directory.
+                leftovers: list[ShardSpec] = []
+                for handle in sup.handles:
+                    while handle.queue:
+                        leftovers.append(handle.queue.popleft())
+                while delayed:
+                    leftovers.append(heappop(delayed)[2])
+                leftovers.sort(key=lambda s: s.id)
+                for spec in leftovers:
+                    probe_shard(spec)
         finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=5.0)
-            for conn in conns:
-                conn.close()
-            for slab in slabs:
-                slab.unlink()
+            self.respawns = sup.respawns
+            sup.shutdown()

@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the sweep fabric.
+
+The paper's algorithms tolerate up to *f* crash failures; the fabric
+that sweeps them must tolerate failures too, and — as "Asynchrony from
+Synchrony" argues at the protocol level — failures belong in the model,
+not in an abort path.  Testing the recovery machinery with real SIGKILL
+races makes slow, flaky tests, so the dispatcher instead threads a
+seeded :class:`FaultPlan` through its workers: every failure mode the
+supervisor handles (worker death, hang, poison cell, torn write) is
+injected at a deterministic point and exercised by ordinary pytest.
+
+Chaos spec grammar (CLI ``scenario sweep --chaos``)::
+
+    plan    ::= clause (";" clause)*
+    clause  ::= kind ":" key "=" value ("," key "=" value)*
+    kind    ::= "kill" | "hang" | "raise" | "torn"
+    value   ::= integer | "rand"
+
+Per-kind keys:
+
+* ``kill`` — ``worker`` (target index; default: any), ``after`` (die
+  right after completing this many shards; ``0`` = at startup, before
+  the first task), ``incarnation`` (default ``0``: only the original
+  worker dies, so its respawned replacement makes progress).
+* ``hang`` — ``shard`` (sleep instead of running it; default: any),
+  ``worker``, ``incarnation`` (defaults as above).  The sleep outlasts
+  any sane liveness timeout, so the supervisor's hang detection is what
+  ends it.
+* ``torn`` — ``shard``/``worker``/``incarnation``: after the first
+  flushed chunk, append a torn half-line to the shard file and die —
+  the retry must heal the tail before resuming.
+* ``raise`` — ``cell`` (global grid index): raise
+  :class:`FaultInjected` inside that cell.  With ``until=K`` the fault
+  is transient — it fires only while the shard's dispatch attempt is
+  ``< K`` (exercising retry-with-backoff); without ``until`` the cell
+  is poison and ends up quarantined.
+
+``value = rand`` defers the target to :meth:`FaultPlan.bind`, which
+resolves it with ``random.Random(seed)`` once the worker/shard/cell
+counts are known — seeded chaos, reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultInjected", "FaultSpec", "FaultPlan", "parse_chaos"]
+
+
+class FaultInjected(RuntimeError):
+    """Raised inside a cell by a ``raise`` fault (poison or transient)."""
+
+
+#: Valid keys per fault kind (grammar validation).
+_KEYS = {
+    "kill": {"worker", "after", "incarnation"},
+    "hang": {"shard", "worker", "incarnation"},
+    "torn": {"shard", "worker", "incarnation"},
+    "raise": {"cell", "until"},
+}
+
+#: Values of "rand" fields resolved by :meth:`FaultPlan.bind`.
+RAND = "rand"
+
+
+@dataclass(slots=True, frozen=True)
+class FaultSpec:
+    """One injected fault.  Fields not applicable to ``kind`` stay None."""
+
+    kind: str  # "kill" | "hang" | "raise" | "torn"
+    worker: int | str | None = None  # kill/hang/torn: target worker index
+    after: int = 1  # kill: shards to complete before dying
+    shard: int | str | None = None  # hang/torn: target shard id
+    cell: int | str | None = None  # raise: global cell index
+    until: int | None = None  # raise: transient while attempt < until
+    incarnation: int = 0  # kill/hang/torn: which worker lifetime fires
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KEYS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; available: "
+                f"{', '.join(sorted(_KEYS))}"
+            )
+        if self.kind == "raise" and self.cell is None:
+            raise ConfigurationError("raise faults need a cell=<index> target")
+        if self.after < 0:
+            raise ConfigurationError(f"kill after must be >= 0, got {self.after}")
+
+
+def _parse_value(kind: str, key: str, text: str) -> int | str:
+    if text == RAND:
+        return RAND
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"chaos clause {kind!r}: {key}={text!r} is neither an integer "
+            f"nor 'rand'"
+        ) from None
+
+
+def parse_chaos(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a chaos spec string into fault specs (see module grammar)."""
+    specs: list[FaultSpec] = []
+    for raw in text.split(";"):
+        clause = raw.strip()
+        if not clause:
+            continue
+        kind, _, body = clause.partition(":")
+        kind = kind.strip()
+        if kind not in _KEYS:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r} in chaos spec {text!r}; "
+                f"available: {', '.join(sorted(_KEYS))}"
+            )
+        fields: dict[str, int | str] = {}
+        for pair in body.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            key, eq, value = pair.partition("=")
+            key = key.strip()
+            if not eq or key not in _KEYS[kind]:
+                raise ConfigurationError(
+                    f"chaos clause {clause!r}: {kind!r} takes "
+                    f"{', '.join(sorted(_KEYS[kind]))} (got {pair!r})"
+                )
+            fields[key] = _parse_value(kind, key, value.strip())
+        specs.append(FaultSpec(kind=kind, **fields))  # type: ignore[arg-type]
+    if not specs:
+        raise ConfigurationError(f"chaos spec {text!r} contains no fault clauses")
+    return tuple(specs)
+
+
+@dataclass(slots=True, frozen=True)
+class FaultPlan:
+    """A deterministic set of faults threaded through a sharded sweep.
+
+    A plan crosses the process boundary once per worker spawn (it rides
+    the ``Process`` args), so it must stay a small, picklable value
+    object.  The dispatcher :meth:`bind`\\ s it before the first spawn —
+    ``rand`` targets resolve against the real worker/shard/cell counts
+    with ``random.Random(seed)`` — and both sides then consult the same
+    bound plan: workers check kill/hang/torn/raise points, the parent's
+    in-process fallback re-checks only the ``raise`` faults (hang and
+    death injection in the parent would kill the sweep itself).
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int | None = None
+    #: How long a hang fault sleeps; far beyond any liveness timeout, so
+    #: only supervision (or test teardown) ends a hung worker.
+    hang_seconds: float = 3600.0
+
+    @classmethod
+    def from_spec(
+        cls,
+        text: str,
+        *,
+        seed: int | None = None,
+        hang_seconds: float = 3600.0,
+    ) -> "FaultPlan":
+        """Build a plan from the chaos grammar (see module docstring)."""
+        return cls(specs=parse_chaos(text), seed=seed, hang_seconds=hang_seconds)
+
+    def bind(self, *, workers: int, shards: int, cells: int) -> "FaultPlan":
+        """Resolve every ``rand`` target against the sweep's real sizes."""
+        rng = random.Random(self.seed)
+        bound: list[FaultSpec] = []
+        for spec in self.specs:
+            fields = {}
+            if spec.worker == RAND:
+                fields["worker"] = rng.randrange(workers)
+            if spec.shard == RAND:
+                fields["shard"] = rng.randrange(shards)
+            if spec.cell == RAND:
+                fields["cell"] = rng.randrange(cells)
+            bound.append(replace(spec, **fields) if fields else spec)
+        return replace(self, specs=tuple(bound))
+
+    # -- injection points (bound plans only) -------------------------------
+
+    def kill_now(self, completed: int, worker: int, incarnation: int) -> bool:
+        """Worker side: die after ``completed`` shards? (checked per shard)."""
+        return any(
+            s.kind == "kill"
+            and (s.worker is None or s.worker == worker)
+            and s.incarnation == incarnation
+            and completed >= s.after
+            for s in self.specs
+        )
+
+    def hang_for(self, shard: int, worker: int, incarnation: int) -> float | None:
+        """Worker side: sleep this long instead of running ``shard``."""
+        for s in self.specs:
+            if (
+                s.kind == "hang"
+                and (s.shard is None or s.shard == shard)
+                and (s.worker is None or s.worker == worker)
+                and s.incarnation == incarnation
+            ):
+                return self.hang_seconds
+        return None
+
+    def torn_on(self, shard: int, worker: int, incarnation: int) -> bool:
+        """Worker side: tear the shard file after its first flush and die."""
+        return any(
+            s.kind == "torn"
+            and (s.shard is None or s.shard == shard)
+            and (s.worker is None or s.worker == worker)
+            and s.incarnation == incarnation
+            for s in self.specs
+        )
+
+    def check_cell(self, cell: int, attempt: int) -> None:
+        """Both sides: raise :class:`FaultInjected` if ``cell`` is targeted.
+
+        ``attempt`` is the shard's dispatch-attempt number (0 on the
+        first dispatch); transient faults (``until=K``) stop firing once
+        the supervisor has retried the shard ``K`` times.
+        """
+        for s in self.specs:
+            if s.kind == "raise" and s.cell == cell:
+                if s.until is None or attempt < s.until:
+                    raise FaultInjected(
+                        f"injected fault in cell {cell} (attempt {attempt})"
+                    )

@@ -23,6 +23,14 @@ Manifest updates are atomic (temp file + ``os.replace``); a kill between
 updates at worst loses the *status* of a finished shard, and the per-cell
 resume inside that shard then re-runs nothing — the keys are already in
 its file.
+
+A shard may also finish **quarantined**: every cell ran except the ones
+the supervisor isolated as poison (see
+:mod:`repro.fabric.dispatcher`).  Those cells are listed in
+``quarantine.json`` next to the manifest (:class:`QuarantineLog`) with
+the failing key and truncated traceback, and they stay quarantined on
+resume until the log is deleted — honest partial coverage beats
+silently re-running a cell that kills workers.
 """
 
 from __future__ import annotations
@@ -35,11 +43,22 @@ from typing import Sequence
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ShardSpec", "ShardManifest", "plan_shards", "grid_hash", "shard_hash"]
+__all__ = [
+    "ShardSpec",
+    "ShardManifest",
+    "QuarantineLog",
+    "plan_shards",
+    "grid_hash",
+    "shard_hash",
+]
 
 #: File name of the manifest inside a shard directory.
 MANIFEST_NAME = "manifest.json"
 MANIFEST_SCHEMA = 1
+
+#: File name of the poison-cell quarantine log inside a shard directory.
+QUARANTINE_NAME = "quarantine.json"
+QUARANTINE_SCHEMA = 1
 
 
 def _digest(keys: Sequence[str]) -> str:
@@ -69,7 +88,7 @@ class ShardSpec:
     stop: int  # last cell index (exclusive)
     file: str  # output file name, relative to the shard directory
     content_hash: str  # hash over the canonical keys of cells[start:stop]
-    status: str = "pending"  # "pending" | "done"
+    status: str = "pending"  # "pending" | "done" | "quarantined"
 
     @property
     def cells(self) -> int:
@@ -163,6 +182,12 @@ class ShardManifest:
         self.shards[shard_id].status = "done"
         self.save()
 
+    def mark_quarantined(self, shard_id: int) -> None:
+        """Flip one shard to ``"quarantined"``: complete except for the
+        poison cells recorded in the directory's :class:`QuarantineLog`."""
+        self.shards[shard_id].status = "quarantined"
+        self.save()
+
     @classmethod
     def load(cls, directory: str) -> "ShardManifest":
         path = os.path.join(directory, MANIFEST_NAME)
@@ -226,3 +251,80 @@ class ShardManifest:
         )
         manifest.save()
         return manifest
+
+
+class QuarantineLog:
+    """The durable ledger of poison cells excluded from a sweep.
+
+    One entry per quarantined cell: its global grid index, owning shard,
+    canonical scenario key, truncated failure traceback, and how many
+    dispatch attempts it burned before the supervisor gave up.  Saves
+    are atomic like the manifest's; :meth:`add` is idempotent per cell.
+
+    Quarantine is sticky across resumes: a rerun of the directory skips
+    the listed cells wholesale.  Clearing it is an explicit user action
+    (delete ``quarantine.json`` and re-run the sweep).
+    """
+
+    #: Keep tracebacks useful without letting one pathological repr
+    #: balloon the log.
+    MAX_ERROR_CHARS = 2000
+
+    __slots__ = ("directory", "entries")
+
+    def __init__(self, directory: str, entries: dict[int, dict] | None = None) -> None:
+        self.directory = directory
+        #: Global cell index → entry dict.
+        self.entries: dict[int, dict] = entries if entries is not None else {}
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, QUARANTINE_NAME)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def cells(self) -> set[int]:
+        """The quarantined global cell indices."""
+        return set(self.entries)
+
+    def add(
+        self, *, cell: int, shard: int, key: str, error: str, attempts: int
+    ) -> None:
+        """Record (and persist) one quarantined cell."""
+        self.entries[cell] = {
+            "cell": cell,
+            "shard": shard,
+            "key": key,
+            "error": error[-self.MAX_ERROR_CHARS:],
+            "attempts": attempts,
+        }
+        self.save()
+
+    def save(self) -> None:
+        """Atomically rewrite the log (temp file + rename)."""
+        doc = {
+            "schema": QUARANTINE_SCHEMA,
+            "cells": [self.entries[i] for i in sorted(self.entries)],
+        }
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    @classmethod
+    def load(cls, directory: str) -> "QuarantineLog":
+        """Load the directory's log; a missing file is an empty log."""
+        path = os.path.join(directory, QUARANTINE_NAME)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            return cls(directory)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read quarantine log {path!r}: {exc}"
+            ) from exc
+        entries = {int(e["cell"]): e for e in doc.get("cells", ())}
+        return cls(directory, entries)

@@ -204,6 +204,11 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
         adversaries=[a for chunk in (args.adversary or ["none"]) for a in chunk.split(",")],
         seeds=args.seeds,
     )
+    faults = None
+    if args.chaos is not None:
+        from repro.fabric.faults import FaultPlan
+
+        faults = FaultPlan.from_spec(args.chaos, seed=args.chaos_seed)
     runner = SweepRunner(
         cells,
         executor=args.executor,
@@ -212,9 +217,15 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
         jsonl_path=args.jsonl,
         writer=args.writer,
         shards=args.shards,
+        faults=faults,
+        liveness_timeout=args.liveness_timeout,
+        max_respawns=args.max_respawns,
     )
     records = runner.run()
-    summaries = summarize_records(records)
+    # Quarantined cells come back as None (sharded executor); everything
+    # downstream reports over the records that exist.
+    covered = [r for r in records if r is not None]
+    summaries = summarize_records(covered)
     # Throughput summary: executed cells over the wall clock of run().
     cells_per_s = runner.executed / runner.elapsed if runner.elapsed > 0 else 0.0
     if args.json:
@@ -224,15 +235,18 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
             "resumed": runner.resumed,
             "elapsed_s": runner.elapsed,
             "cells_per_s": cells_per_s,
-            "records": [r.to_dict() for r in records],
+            "records": [r.to_dict() if r is not None else None for r in records],
         }
         if args.executor == "sharded":
-            # Per-shard stats carry each shard's own cells_per_s (None for
+            # Per-shard stats carry each shard's own cells_per_s (0.0 for
             # shards resumed wholesale off the manifest).
             out["shards"] = runner.shard_stats
             out["resumed_shards"] = runner.resumed_shards
             out["fresh_shards"] = runner.fresh_shards
             out["stolen_chunks"] = runner.stolen_chunks
+            out["retries"] = runner.retries
+            out["respawns"] = runner.respawns
+            out["quarantined"] = runner.quarantined
         print(json.dumps(out, sort_keys=True))
     else:
         table = Table(
@@ -260,8 +274,16 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
                 f"{runner.resumed_shards} resumed, "
                 f"{runner.stolen_chunks} stolen"
             )
+            if runner.retries or runner.respawns or runner.quarantined:
+                progress += (
+                    f"; supervision: {runner.retries} retries, "
+                    f"{runner.respawns} respawns, "
+                    f"{runner.quarantined} quarantined"
+                )
         print(progress)
-    return 0 if all(r.spec_ok for r in records) else 1
+    # Quarantined cells mean honest-but-partial coverage: non-zero exit so
+    # scripts cannot mistake a degraded sweep for a complete one.
+    return 0 if all(r.spec_ok for r in covered) and runner.quarantined == 0 else 1
 
 
 def _cmd_atlas_summarize(args: argparse.Namespace) -> int:
@@ -276,12 +298,19 @@ def _cmd_atlas_summarize(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(doc, sort_keys=True))
         return 0
+    quarantined = doc.get("quarantined", 0)
+    coverage = (
+        f", {doc['covered_cells']}/{doc['cells']} covered "
+        f"({quarantined} quarantined)"
+        if quarantined
+        else ""
+    )
     table = Table(
         ["algorithm", "n", "t", "f", "adversary", "seeds",
          "mean rounds", "mean msgs", "mean bits", "spec"],
         title=(
             f"atlas: {doc['cells']} cells in {doc['shards']} shards "
-            f"(grid {doc['grid_hash']})"
+            f"(grid {doc['grid_hash']}){coverage}"
         ),
     )
     for row in doc["rows"]:
@@ -293,6 +322,11 @@ def _cmd_atlas_summarize(args: argparse.Namespace) -> int:
             "ok" if row["spec_ok"] else "VIOLATED",
         )
     print(table.to_ascii())
+    if quarantined:
+        print(
+            f"coverage: {quarantined} quarantined cell(s) excluded — see "
+            f"quarantine.json in the shard directory"
+        )
     if args.out is not None:
         print(f"wrote atlas artifact to {args.out}")
     return 0 if all(row["spec_ok"] for row in doc["rows"]) else 1
@@ -433,6 +467,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="JSONL layout: one batch line per chunk (columnar, "
                       "default) or one record line per cell (legacy); resume "
                       "reads both")
+    p_sw.add_argument("--chaos", default=None, metavar="SPEC",
+                      help="sharded executor: inject deterministic faults, "
+                      "e.g. 'kill:worker=0,after=1;hang:shard=2,worker=1;"
+                      "raise:cell=7' (see repro.fabric.faults)")
+    p_sw.add_argument("--chaos-seed", type=int, default=None,
+                      help="seed resolving 'rand' targets in --chaos")
+    p_sw.add_argument("--liveness-timeout", type=float, default=None,
+                      help="sharded executor: seconds without worker "
+                      "results/heartbeats before a busy worker is declared "
+                      "hung and replaced (default: disabled)")
+    p_sw.add_argument("--max-respawns", type=int, default=None,
+                      help="sharded executor: replacement-worker budget "
+                      "(default: the worker count); exhausting it degrades "
+                      "to in-process draining")
     p_sw.add_argument("--json", action="store_true", help="machine-readable output")
     p_sw.set_defaults(func=_cmd_scenario_sweep)
 

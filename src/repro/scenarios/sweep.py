@@ -279,6 +279,14 @@ class SweepRunner:
         Process-pool cell format: ``"delta"`` (default, base + CellDeltas
         out / batch payload back) or ``"dict"`` (full scenario dicts out /
         record dicts back).  Serial sweeps never serialize cells at all.
+    faults, liveness_timeout, max_respawns, max_shard_retries, retry_backoff_s:
+        Sharded-executor supervision knobs, passed through to
+        :class:`repro.fabric.ShardedSweep` (fault injection, hung-worker
+        detection, respawn budget, retry/quarantine policy).  ``None``
+        keeps the fabric's defaults; setting any of them with another
+        executor is an error.  A sweep that quarantined poison cells
+        returns ``None`` at their positions (see
+        :attr:`quarantined`).
     """
 
     #: Serial executor: flush the JSONL buffer at least this often even
@@ -297,6 +305,11 @@ class SweepRunner:
         writer: str = "columnar",
         wire: str = "delta",
         shards: int | None = None,
+        faults: Any | None = None,
+        liveness_timeout: float | None = None,
+        max_respawns: int | None = None,
+        max_shard_retries: int | None = None,
+        retry_backoff_s: float | None = None,
     ) -> None:
         self.scenarios = list(scenarios)
         if executor not in ("serial", "process", "sharded"):
@@ -321,6 +334,25 @@ class SweepRunner:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         if processes is not None and processes < 1:
             raise ConfigurationError(f"processes must be >= 1, got {processes}")
+        supervision = {
+            "faults": faults,
+            "liveness_timeout": liveness_timeout,
+            "max_respawns": max_respawns,
+            "max_shard_retries": max_shard_retries,
+            "retry_backoff_s": retry_backoff_s,
+        }
+        set_knobs = [name for name, value in supervision.items() if value is not None]
+        if set_knobs and executor != "sharded":
+            raise ConfigurationError(
+                f"{', '.join(set_knobs)} require(s) the sharded executor "
+                f"(supervision lives in the fabric dispatcher), got "
+                f"executor={executor!r}"
+            )
+        self.faults = faults
+        self.liveness_timeout = liveness_timeout
+        self.max_respawns = max_respawns
+        self.max_shard_retries = max_shard_retries
+        self.retry_backoff_s = retry_backoff_s
         self.executor = executor
         self.processes = processes
         self.chunk_size = chunk_size
@@ -340,6 +372,11 @@ class SweepRunner:
         self.fresh_shards = 0
         self.stolen_chunks = 0
         self.shard_stats: list[dict[str, Any]] = []
+        #: Sharded executor supervision counters: shard failures handled,
+        #: replacement workers spawned, quarantined cells; zero otherwise.
+        self.retries = 0
+        self.respawns = 0
+        self.quarantined = 0
 
     # -- persistence -------------------------------------------------------
 
@@ -539,6 +576,17 @@ class SweepRunner:
                 unique.append(scenario)
                 unique_keys.append(key)
                 seen.add(key)
+        supervision = {
+            name: value
+            for name, value in (
+                ("faults", self.faults),
+                ("liveness_timeout", self.liveness_timeout),
+                ("max_respawns", self.max_respawns),
+                ("max_shard_retries", self.max_shard_retries),
+                ("retry_backoff_s", self.retry_backoff_s),
+            )
+            if value is not None  # None → keep the fabric's own defaults
+        }
         fabric = ShardedSweep(
             unique,
             directory=self.jsonl_path,
@@ -546,6 +594,7 @@ class SweepRunner:
             shards=self.shards,
             chunk_size=self.chunk_size,
             keys=unique_keys,  # already computed for the dedupe above
+            **supervision,
         )
         records = fabric.run()
         self.executed = fabric.executed
@@ -554,19 +603,24 @@ class SweepRunner:
         self.fresh_shards = fabric.fresh_shards
         self.stolen_chunks = fabric.stolen_chunks
         self.shard_stats = fabric.shard_stats
+        self.retries = fabric.retries
+        self.respawns = fabric.respawns
+        self.quarantined = fabric.quarantined
         if len(unique) == len(keys):  # no duplicates: fabric order IS grid order
             return records
         done = dict(zip(unique_keys, records))
-        out: list[RunRecord] = []
+        out: list[RunRecord | None] = []
         emitted: set[str] = set()
         for key in keys:
             value = done[key]
-            if key in emitted:
+            # Quarantined cells come back as None; they carry no
+            # containers, so duplicates need no defensive copy either.
+            if value is not None and key in emitted:
                 value = value.normalized()  # fresh containers per duplicate
             else:
                 emitted.add(key)
             out.append(value)
-        return out
+        return out  # type: ignore[return-value]
 
     def _run_pool(self, pending, pending_keys, done, fh, buffer) -> None:
         import multiprocessing

@@ -69,8 +69,10 @@ class TestStreamingReduction:
 class TestArtifact:
     def test_document_shape(self, sharded_dir, cells, serial_records):
         doc = build_atlas(sharded_dir)
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
         assert doc["cells"] == len(cells)
+        assert doc["covered_cells"] == len(cells)
+        assert doc["quarantined"] == 0
         assert doc["shards"] == 3
         assert doc["grid_hash"] == grid_hash(
             [scenario_key(c) for c in cells]

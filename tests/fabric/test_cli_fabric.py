@@ -44,8 +44,9 @@ class TestShardedSweepCLI:
         out = json.loads(capsys.readouterr().out)
         assert out["executed"] == 0 and out["resumed"] == out["cells"]
         assert out["resumed_shards"] == 3 and out["fresh_shards"] == 0
-        # Wholesale-resumed shards have no throughput of their own.
-        assert all(s["cells_per_s"] is None for s in out["shards"])
+        # Wholesale-resumed shards have no throughput of their own; the
+        # stat stays numeric (0.0) rather than going null.
+        assert all(s["cells_per_s"] == 0.0 for s in out["shards"])
 
     def test_progress_line_reports_shard_counts(self, shard_dir, capsys):
         assert _sweep(shard_dir) == 0
@@ -54,6 +55,50 @@ class TestShardedSweepCLI:
         assert _sweep(shard_dir) == 0
         out = capsys.readouterr().out
         assert "shards: 0 fresh, 3 resumed" in out
+
+
+class TestChaosCLI:
+    def test_json_carries_supervision_counters(self, shard_dir, capsys):
+        assert _sweep(shard_dir, "--json") == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["retries"] == 0
+        assert out["respawns"] == 0
+        assert out["quarantined"] == 0
+        for s in out["shards"]:
+            assert s["retries"] == 0 and s["quarantined"] == 0
+
+    def test_chaos_kill_recovers_and_exits_zero(self, shard_dir, capsys):
+        assert _sweep(
+            shard_dir, "--jobs", "2",
+            "--chaos", "kill:worker=0,after=1", "--json",
+        ) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["executed"] + out["resumed"] == out["cells"]
+        assert out["respawns"] >= 1
+        assert out["quarantined"] == 0
+
+    def test_chaos_poison_quarantines_and_exits_nonzero(self, shard_dir, capsys):
+        # A quarantined cell is honest-but-partial coverage → exit 1.
+        assert _sweep(shard_dir, "--chaos", "raise:cell=0", "--json") == 1
+        out = json.loads(capsys.readouterr().out)
+        assert out["quarantined"] == 1
+        assert out["records"][0] is None
+        assert all(r is not None for r in out["records"][1:])
+        assert (shard_dir / "quarantine.json").exists()
+
+    def test_progress_line_reports_supervision(self, shard_dir, capsys):
+        assert _sweep(shard_dir, "--chaos", "raise:cell=0") == 1
+        out = capsys.readouterr().out
+        assert "supervision:" in out and "1 quarantined" in out
+
+    def test_chaos_requires_sharded_executor(self, capsys):
+        code = main([
+            "scenario", "sweep", "--algorithm", "crw", "--n", "4",
+            "--seeds", "1", "--executor", "serial",
+            "--chaos", "raise:cell=0",
+        ])
+        assert code == 2
+        assert "sharded" in capsys.readouterr().err
 
 
 class TestAtlasCLI:
@@ -77,3 +122,16 @@ class TestAtlasCLI:
         assert main(["atlas", "summarize", "--dir", str(shard_dir), "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert all(row["spec_ok"] for row in doc["rows"])
+        assert doc["quarantined"] == 0
+        assert doc["covered_cells"] == doc["cells"]
+
+    def test_summarize_reports_quarantined_coverage(self, shard_dir, capsys):
+        assert _sweep(shard_dir, "--chaos", "raise:cell=0") == 1
+        capsys.readouterr()
+        assert main(["atlas", "summarize", "--dir", str(shard_dir), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["quarantined"] == 1
+        assert doc["covered_cells"] == doc["cells"] - 1
+        assert main(["atlas", "summarize", "--dir", str(shard_dir)]) == 0
+        printed = capsys.readouterr().out
+        assert "quarantined" in printed

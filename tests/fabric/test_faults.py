@@ -1,0 +1,137 @@
+"""The chaos grammar and FaultPlan predicates (pure, no processes)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.faults import FaultInjected, FaultPlan, FaultSpec, parse_chaos
+
+
+class TestParseChaos:
+    def test_single_clause(self):
+        (spec,) = parse_chaos("kill:worker=0,after=2")
+        assert spec.kind == "kill"
+        assert spec.worker == 0
+        assert spec.after == 2
+        assert spec.incarnation == 0
+
+    def test_multiple_clauses(self):
+        specs = parse_chaos("kill:after=1;hang:shard=3,worker=1;raise:cell=7")
+        assert [s.kind for s in specs] == ["kill", "hang", "raise"]
+        assert specs[1].shard == 3 and specs[1].worker == 1
+        assert specs[2].cell == 7
+
+    def test_rand_values_survive_parsing(self):
+        (spec,) = parse_chaos("raise:cell=rand")
+        assert spec.cell == "rand"
+
+    def test_bare_kind_uses_defaults(self):
+        (spec,) = parse_chaos("kill:")
+        assert spec.kind == "kill" and spec.worker is None and spec.after == 1
+
+    @pytest.mark.parametrize("bad", [
+        "explode:after=1",          # unknown kind
+        "kill:cell=3",              # key not valid for the kind
+        "kill:after=soon",          # non-integer, non-rand value
+        "raise:until=2",            # raise without its required cell
+        "kill:after=-1",            # negative after
+        ";;",                       # no clauses at all
+    ])
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_chaos(bad)
+
+    def test_from_spec_round_trip(self):
+        plan = FaultPlan.from_spec("torn:shard=2", seed=9, hang_seconds=1.0)
+        assert plan.specs[0].kind == "torn"
+        assert plan.seed == 9 and plan.hang_seconds == 1.0
+
+
+class TestBind:
+    def test_rand_targets_resolve_in_range_and_deterministically(self):
+        plan = FaultPlan.from_spec(
+            "kill:worker=rand;hang:shard=rand;raise:cell=rand", seed=42,
+        )
+        a = plan.bind(workers=3, shards=10, cells=100)
+        b = plan.bind(workers=3, shards=10, cells=100)
+        assert a == b  # same seed, same resolution
+        kill, hang, poison = a.specs
+        assert 0 <= kill.worker < 3
+        assert 0 <= hang.shard < 10
+        assert 0 <= poison.cell < 100
+
+    def test_concrete_targets_pass_through(self):
+        plan = FaultPlan.from_spec("kill:worker=1,after=0", seed=7)
+        assert plan.bind(workers=4, shards=8, cells=16) == plan
+
+
+class TestPredicates:
+    def test_kill_now_matches_threshold_worker_and_incarnation(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="kill", worker=1, after=2),))
+        assert not plan.kill_now(1, worker=1, incarnation=0)
+        assert plan.kill_now(2, worker=1, incarnation=0)
+        assert plan.kill_now(3, worker=1, incarnation=0)
+        assert not plan.kill_now(2, worker=0, incarnation=0)
+        assert not plan.kill_now(2, worker=1, incarnation=1)  # replacement lives
+
+    def test_kill_worker_none_matches_any_worker(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="kill", after=0),))
+        assert plan.kill_now(0, worker=0, incarnation=0)
+        assert plan.kill_now(0, worker=5, incarnation=0)
+
+    def test_hang_for_targets_shard_and_worker(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="hang", shard=3, worker=1),),
+            hang_seconds=12.5,
+        )
+        assert plan.hang_for(3, worker=1, incarnation=0) == 12.5
+        assert plan.hang_for(3, worker=0, incarnation=0) is None
+        assert plan.hang_for(2, worker=1, incarnation=0) is None
+        assert plan.hang_for(3, worker=1, incarnation=1) is None
+
+    def test_torn_on(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="torn", shard=0),))
+        assert plan.torn_on(0, worker=0, incarnation=0)
+        assert plan.torn_on(0, worker=3, incarnation=0)  # any worker
+        assert not plan.torn_on(1, worker=0, incarnation=0)
+        assert not plan.torn_on(0, worker=0, incarnation=1)
+
+    def test_check_cell_poison_always_fires(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="raise", cell=7),))
+        for attempt in (0, 1, 5):
+            with pytest.raises(FaultInjected):
+                plan.check_cell(7, attempt)
+        plan.check_cell(6, 0)  # other cells untouched
+
+    def test_check_cell_transient_stops_after_until(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="raise", cell=4, until=2),))
+        with pytest.raises(FaultInjected):
+            plan.check_cell(4, 0)
+        with pytest.raises(FaultInjected):
+            plan.check_cell(4, 1)
+        plan.check_cell(4, 2)  # retried past the fault: clears
+
+    def test_empty_plan_is_inert(self):
+        plan = FaultPlan()
+        assert not plan.kill_now(0, worker=0, incarnation=0)
+        assert plan.hang_for(0, worker=0, incarnation=0) is None
+        assert not plan.torn_on(0, worker=0, incarnation=0)
+        plan.check_cell(0, 0)
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="meteor")
+
+    def test_raise_requires_cell(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="raise")
+
+    def test_plan_is_picklable(self):
+        # The plan rides the worker spawn args across the process boundary.
+        plan = FaultPlan.from_spec("kill:after=1;raise:cell=3", seed=1)
+        assert pickle.loads(pickle.dumps(plan)) == plan
