@@ -1,65 +1,84 @@
 #!/usr/bin/env python3
-"""A replicated key-value store on a (simulated) LAN cluster.
+"""A replicated key-value service on a (simulated) LAN cluster.
 
 The paper pitches the extended model at LANs with reliable links, where
 its algorithm commits agreement in a *single* round when the coordinator
-is healthy.  This example builds the application such a cluster would run:
-a replicated KV log in which every slot is one Figure-1 consensus
-instance, and shows
+is healthy.  This example runs the application such a cluster would
+deploy: the consensus *service* — clients stream commands through a
+leader into replicated-log slots — first in steady state, then through
+a leader-kill crash storm, and finally past its crash budget:
 
-* steady-state: every slot commits in 1 round;
-* a replica crash mid-slot: that slot costs f+1 rounds, the dead replica
-  stays dead, and all surviving replicas keep identical state digests.
+* steady-state: every command commits in one single-round slot;
+* a seeded storm kills the leader twice mid-slot: the ring rotates,
+  stale acks are fenced, client retries dedup against the commit
+  ledger, and every acknowledged command still commits exactly once;
+* a third crash exhausts ``t``: the service drains in-flight work,
+  refuses the rest, and reports an honest "degraded" instead of
+  wedging.
 
     python examples/replicated_log_lan.py
 """
 
-from repro.rsm import Command, KVStore, ReplicatedLog
-from repro.sync import CrashEvent, CrashPoint
-from repro.util import RandomSource
+from repro.fabric import ServiceFaultPlan
+from repro.service import ClosedLoopWorkload, ConsensusService
+
+
+def describe(title: str, report) -> None:
+    c = report.counters
+    print(f"-- {title} --")
+    print(
+        f"  {c['acked']}/{c['submitted']} acked over {c['slots']} slots "
+        f"({c['noop_slots']} noop), {c['refused']} refused"
+    )
+    print(
+        f"  kills={c['kills']} rotations={report.rotations} "
+        f"(epoch {report.epoch}), retries={c['retried']} "
+        f"deduped={c['deduped']} acks fenced={c['rejected_stale']}"
+    )
+    print(
+        f"  throughput {report.throughput:.3f} acks/unit, "
+        f"latency p50={report.latency['p50']:.1f} "
+        f"p99={report.latency['p99']:.1f}"
+    )
+    digests = sorted(set(report.digests.values()))
+    print(f"  survivors {sorted(report.digests)} digest(s): {digests}")
+    print(f"  state={report.state} problems={report.problems or 'none'}\n")
 
 
 def main() -> None:
-    n = 5
-    log = ReplicatedLog(n, KVStore, t=2, rng=RandomSource(7))
+    n, t = 5, 2
 
-    print(f"-- replicated KV store on {n} replicas (t=2) --\n")
+    # Steady state: 3 clients, one outstanding write each, no faults.
+    service = ConsensusService(n, machine="kv", t=t, seed=7)
+    report = service.run(ClosedLoopWorkload(3, 4))
+    describe(f"steady state: n={n}, t={t}, failure-free", report)
+    # Every slot is a single round (elapsed == slot count); latency above
+    # 1 unit is pure queueing behind the other two clients.
+    assert report.ok and report.elapsed == report.counters["slots"]
 
-    # Steady state: clients submit writes through replica 1.
-    for key, value in [("user:1", "ada"), ("user:2", "grace"), ("cfg:mode", "fast")]:
-        slot = log.commit({1: Command(1, f"set {key} {value}")})
-        print(f"slot {slot.slot}: {slot.decided} committed in {slot.rounds} round(s)")
-
-    # Replica 1 (the round-1 coordinator!) dies while broadcasting.
-    print("\n-- replica 1 crashes during its data step --")
-    slot = log.commit(
-        {2: Command(2, "set user:3 edsger")},
-        crash_events=[
-            CrashEvent(1, 1, CrashPoint.DURING_DATA, data_subset=frozenset({3}))
-        ],
+    # A leader-kill storm inside the budget (t=3 leaves headroom): the
+    # coordinator dies while broadcasting (point=rand picks the crash
+    # point per firing), the ring rotates to the next live pid, clients
+    # retry through fencing and the dedup ledger.
+    storm = ServiceFaultPlan.from_spec(
+        "kill:leader,after=3,every=4,count=2", seed=7
     )
-    print(
-        f"slot {slot.slot}: {slot.decided} committed in {slot.rounds} round(s), "
-        f"new crashes: {slot.new_crashes}"
+    service = ConsensusService(n, machine="kv", t=3, seed=7, faults=storm)
+    report = service.run(ClosedLoopWorkload(3, 4))
+    describe("leader-kill storm (2 kills, budget t=3)", report)
+    assert report.ok and report.rotations == 2
+    assert len(set(report.digests.values())) == 1
+
+    # One crash too many: the third kill would exceed t, so the service
+    # degrades — drains what it accepted, refuses the rest, exits honest.
+    overload = ServiceFaultPlan.from_spec(
+        "kill:leader,after=1,every=2,count=3", seed=7
     )
-
-    # Life goes on without replica 1; slots now need 2 rounds (p1's slot of
-    # the coordinator rotation is a ghost) — still uniform, still fast.
-    for key, value in [("user:4", "barbara"), ("user:5", "leslie")]:
-        slot = log.commit({3: Command(3, f"set {key} {value}")})
-        print(f"slot {slot.slot}: {slot.decided} committed in {slot.rounds} round(s)")
-
-    print("\n-- final state --")
-    problems = log.check_invariants()
-    print(f"invariants: {'OK' if not problems else problems}")
-    for pid in log.live_pids:
-        replica = log.replicas[pid]
-        print(
-            f"replica {pid}: {len(replica.log)} entries, "
-            f"digest {replica.machine.digest()}"
-        )
-    dead = log.replicas[1]
-    print(f"replica 1 (dead): {len(dead.log)} entries (a prefix of the live log)")
+    service = ConsensusService(n, machine="kv", t=t, seed=7, faults=overload)
+    report = service.run(ClosedLoopWorkload(3, 4))
+    describe("crash budget exhausted (3rd kill refused)", report)
+    assert report.state == "degraded" and report.budget_exhausted
+    assert report.problems == []  # degraded, never incorrect
 
 
 if __name__ == "__main__":

@@ -35,7 +35,15 @@ from repro.fabric.atlas import (
     write_atlas,
 )
 from repro.fabric.dispatcher import ShardedSweep
-from repro.fabric.faults import FaultInjected, FaultPlan, FaultSpec, parse_chaos
+from repro.fabric.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
+    parse_chaos,
+    parse_service_chaos,
+)
 from repro.fabric.manifest import (
     QuarantineLog,
     ShardManifest,
@@ -56,6 +64,9 @@ __all__ = [
     "FaultSpec",
     "FaultInjected",
     "parse_chaos",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
+    "parse_service_chaos",
     "Supervisor",
     "WorkerHandle",
     "plan_shards",

@@ -47,7 +47,15 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 
-__all__ = ["FaultInjected", "FaultSpec", "FaultPlan", "parse_chaos"]
+__all__ = [
+    "FaultInjected",
+    "FaultSpec",
+    "FaultPlan",
+    "parse_chaos",
+    "ServiceFaultSpec",
+    "ServiceFaultPlan",
+    "parse_service_chaos",
+]
 
 
 class FaultInjected(RuntimeError):
@@ -102,37 +110,72 @@ def _parse_value(kind: str, key: str, text: str) -> int | str:
         ) from None
 
 
-def parse_chaos(text: str) -> tuple[FaultSpec, ...]:
-    """Parse a chaos spec string into fault specs (see module grammar)."""
-    specs: list[FaultSpec] = []
+def _parse_clauses(
+    text: str,
+    keys: dict[str, set[str]],
+    *,
+    flags: dict[str, set[str]] | None = None,
+    words: dict[str, set[str]] | None = None,
+) -> list[tuple[str, dict[str, object]]]:
+    """Split a chaos spec into ``(kind, fields)`` clauses against ``keys``.
+
+    The one grammar both fault vocabularies share (fabric workers and the
+    consensus service): ``kind:key=value,...`` clauses joined by ``;``.
+    ``flags`` names keys usable bare (``kill:leader``, parsed as True);
+    ``words`` maps keys to the bare-word values they accept (``point=
+    control``) — everything else must be an integer or ``rand``.
+    """
+    flags = flags or {}
+    words = words or {}
+    clauses: list[tuple[str, dict[str, object]]] = []
     for raw in text.split(";"):
         clause = raw.strip()
         if not clause:
             continue
         kind, _, body = clause.partition(":")
         kind = kind.strip()
-        if kind not in _KEYS:
+        if kind not in keys:
             raise ConfigurationError(
                 f"unknown fault kind {kind!r} in chaos spec {text!r}; "
-                f"available: {', '.join(sorted(_KEYS))}"
+                f"available: {', '.join(sorted(keys))}"
             )
-        fields: dict[str, int | str] = {}
+        fields: dict[str, object] = {}
         for pair in body.split(","):
             pair = pair.strip()
             if not pair:
                 continue
             key, eq, value = pair.partition("=")
             key = key.strip()
-            if not eq or key not in _KEYS[kind]:
+            if not eq and key in flags.get(kind, ()):
+                fields[key] = True
+                continue
+            if not eq or key not in keys[kind]:
                 raise ConfigurationError(
                     f"chaos clause {clause!r}: {kind!r} takes "
-                    f"{', '.join(sorted(_KEYS[kind]))} (got {pair!r})"
+                    f"{', '.join(sorted(keys[kind]))} (got {pair!r})"
                 )
-            fields[key] = _parse_value(kind, key, value.strip())
-        specs.append(FaultSpec(kind=kind, **fields))  # type: ignore[arg-type]
-    if not specs:
+            value = value.strip()
+            if key in words:
+                if value not in words[key]:
+                    raise ConfigurationError(
+                        f"chaos clause {clause!r}: {key}={value!r} must be "
+                        f"one of {', '.join(sorted(words[key]))}"
+                    )
+                fields[key] = value
+            else:
+                fields[key] = _parse_value(kind, key, value)
+        clauses.append((kind, fields))
+    if not clauses:
         raise ConfigurationError(f"chaos spec {text!r} contains no fault clauses")
-    return tuple(specs)
+    return clauses
+
+
+def parse_chaos(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a chaos spec string into fault specs (see module grammar)."""
+    return tuple(
+        FaultSpec(kind=kind, **fields)  # type: ignore[arg-type]
+        for kind, fields in _parse_clauses(text, _KEYS)
+    )
 
 
 @dataclass(slots=True, frozen=True)
@@ -227,4 +270,176 @@ class FaultPlan:
                 if s.until is None or attempt < s.until:
                     raise FaultInjected(
                         f"injected fault in cell {cell} (attempt {attempt})"
+                    )
+
+
+# ---------------------------------------------------------------------------
+# Service chaos: the same grammar, aimed at the consensus service.
+# ---------------------------------------------------------------------------
+
+#: Valid keys per service fault kind.
+_SERVICE_KEYS = {
+    "kill": {"leader", "pid", "after", "every", "count", "point"},
+    "raise": {"slot", "until"},
+}
+#: Keys usable bare, as flags (``kill:leader``).
+_SERVICE_FLAGS = {"kill": {"leader"}}
+#: Bare-word values accepted per key.
+_SERVICE_WORDS = {"point": {"before", "data", "control", "after", RAND}}
+
+
+@dataclass(slots=True, frozen=True)
+class ServiceFaultSpec:
+    """One injected service fault (see :func:`parse_service_chaos`).
+
+    * ``kill`` — crash a replica inside a log slot.  Target: ``leader``
+      (the ring's current leader at firing time) or ``pid=K``.  Timing:
+      fires in slot ``after + 1``; with ``every=E`` it re-fires every
+      ``E`` slots after that (a crash storm), ``count=C`` capping the
+      number of firings.  ``point`` picks the crash point within the
+      slot (``before``/``data``/``control``/``after``; default ``rand``
+      — seeded per firing by the service): ``before`` loses the leader's
+      proposal (the slot decides a successor's noop, the client must
+      retry the command itself), the later points commit it but kill the
+      ack (the retry must hit the dedup ledger instead of re-proposing).
+    * ``raise`` — raise :class:`FaultInjected` in the service's propose
+      path for slot ``slot``; with ``until=A`` the fault is transient
+      (fires only while the slot's propose attempt is ``< A``), without
+      it the slot is poison and the head request is failed honestly
+      after the service's propose-retry budget.
+    """
+
+    kind: str  # "kill" | "raise"
+    leader: bool = False
+    pid: int | str | None = None
+    after: int = 0  # kill: committed slots before the first firing
+    every: int | None = None  # kill: storm period in slots
+    count: int | None = None  # kill: max storm firings
+    point: str = RAND  # kill: crash point within the slot
+    slot: int | str | None = None  # raise: target slot number (1-based)
+    until: int | None = None  # raise: transient while attempt < until
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SERVICE_KEYS:
+            raise ConfigurationError(
+                f"unknown service fault kind {self.kind!r}; available: "
+                f"{', '.join(sorted(_SERVICE_KEYS))}"
+            )
+        if self.kind == "kill":
+            if self.leader == (self.pid is not None):
+                raise ConfigurationError(
+                    "kill faults target exactly one of 'leader' or 'pid=K'"
+                )
+            if self.after < 0:
+                raise ConfigurationError(
+                    f"kill after must be >= 0, got {self.after}"
+                )
+            if self.every is not None and self.every < 1:
+                raise ConfigurationError(
+                    f"kill every must be >= 1, got {self.every}"
+                )
+            if self.count is not None:
+                if self.every is None:
+                    raise ConfigurationError("kill count=C needs every=E")
+                if self.count < 1:
+                    raise ConfigurationError(
+                        f"kill count must be >= 1, got {self.count}"
+                    )
+        if self.kind == "raise":
+            if self.slot is None:
+                raise ConfigurationError("raise faults need a slot=<number> target")
+            if isinstance(self.slot, int) and self.slot < 1:
+                raise ConfigurationError(f"raise slot must be >= 1, got {self.slot}")
+            if self.until is not None and self.until < 1:
+                raise ConfigurationError(f"raise until must be >= 1, got {self.until}")
+
+
+def parse_service_chaos(text: str) -> tuple[ServiceFaultSpec, ...]:
+    """Parse a service chaos spec (same grammar, service vocabulary).
+
+    Examples::
+
+        kill:leader,after=3                  # one leader kill in slot 4
+        kill:leader,after=2,every=4,count=3  # a 3-kill leader storm
+        kill:pid=5,point=control             # kill p5 mid-control-step
+        raise:slot=7,until=2                 # transient propose fault
+    """
+    return tuple(
+        ServiceFaultSpec(kind=kind, **fields)  # type: ignore[arg-type]
+        for kind, fields in _parse_clauses(
+            text, _SERVICE_KEYS, flags=_SERVICE_FLAGS, words=_SERVICE_WORDS
+        )
+    )
+
+
+@dataclass(slots=True, frozen=True)
+class ServiceFaultPlan:
+    """A deterministic set of faults drilled through the consensus service.
+
+    The service-side sibling of :class:`FaultPlan`: a frozen value object
+    the service consults per slot.  ``rand`` pids/slots resolve in
+    :meth:`bind` against the replica count and the expected slot horizon;
+    ``point=rand`` stays symbolic — the service resolves it per firing
+    from its own labelled chaos stream, so storms vary crash points while
+    staying a pure function of the service seed.
+    """
+
+    specs: tuple[ServiceFaultSpec, ...] = ()
+    seed: int | None = None
+
+    @classmethod
+    def from_spec(cls, text: str, *, seed: int | None = None) -> "ServiceFaultPlan":
+        """Build a plan from the service chaos grammar."""
+        return cls(specs=parse_service_chaos(text), seed=seed)
+
+    def bind(self, *, replicas: int, slots: int) -> "ServiceFaultPlan":
+        """Resolve every ``rand`` pid/slot against the service's real sizes."""
+        rng = random.Random(self.seed)
+        bound: list[ServiceFaultSpec] = []
+        for spec in self.specs:
+            fields: dict[str, int] = {}
+            if spec.pid == RAND:
+                fields["pid"] = rng.randrange(replicas) + 1
+            if spec.slot == RAND:
+                fields["slot"] = rng.randrange(max(slots, 1)) + 1
+            bound.append(replace(spec, **fields) if fields else spec)
+        return replace(self, specs=tuple(bound))
+
+    # -- injection points (bound plans only) -------------------------------
+
+    def kills_for(self, slot_no: int) -> list[ServiceFaultSpec]:
+        """The kill faults firing in slot ``slot_no`` (1-based).
+
+        A spec fires first in slot ``after + 1``; with ``every`` it
+        re-fires each period, capped by ``count``.  Firing is a pure
+        function of the slot number, so the plan needs no mutable state.
+        """
+        fires: list[ServiceFaultSpec] = []
+        for s in self.specs:
+            if s.kind != "kill":
+                continue
+            first = s.after + 1
+            if slot_no < first:
+                continue
+            if s.every is None:
+                if slot_no == first:
+                    fires.append(s)
+            else:
+                period, phase = divmod(slot_no - first, s.every)
+                if phase == 0 and (s.count is None or period < s.count):
+                    fires.append(s)
+        return fires
+
+    def check_slot(self, slot_no: int, attempt: int) -> None:
+        """Raise :class:`FaultInjected` if ``slot_no``'s propose is targeted.
+
+        ``attempt`` is the slot's propose-attempt number (0 on the first
+        try); transient faults (``until=A``) stop firing once the service
+        has retried the propose ``A`` times.
+        """
+        for s in self.specs:
+            if s.kind == "raise" and s.slot == slot_no:
+                if s.until is None or attempt < s.until:
+                    raise FaultInjected(
+                        f"injected fault in slot {slot_no} (attempt {attempt})"
                     )

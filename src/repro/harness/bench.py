@@ -41,6 +41,12 @@ Kernels (via the scenario layer):
 * ``sweep_serial_256c`` — a 256-cell serial grid with JSONL persistence:
   the sweep data-path throughput kernel (PR 5's columnar record
   pipeline — normalized records, batch persistence, key-indexed resume);
+* ``service_kv_throughput`` — 200 closed-loop client commands through
+  the consensus service's replicated-log slots, failure-free: the
+  serving-loop kernel (admission, session table, leased slot engine);
+* ``service_p99_latency`` — an open-loop run through a leader-kill
+  storm: rotation + fencing + retry/dedup on the hot path, asserting
+  the exactly-once report stays clean;
 * ``sweep_*``         — ~1k-cell grid over the process-pool executor with
   JSONL persistence (``--quick`` shrinks it for CI);
 * ``shard_sweep_*``   — the same grids over the sharded work-stealing
@@ -162,6 +168,27 @@ def _kernel_lease_crw_n32_40c() -> None:
     assert len(lease) == 1  # one configuration: 39 of 40 cells reset
 
 
+def _kernel_service_kv_throughput() -> None:
+    from repro.service import ClosedLoopWorkload, ConsensusService
+
+    service = ConsensusService(5, machine="kv", t=3, seed=0)
+    report = service.run(ClosedLoopWorkload(8, 25))
+    assert report.ok and report.counters["acked"] == 200
+
+
+def _kernel_service_p99_latency() -> None:
+    from repro.fabric.faults import ServiceFaultPlan
+    from repro.service import ConsensusService, OpenLoopWorkload
+    from repro.util.rng import RandomSource
+
+    plan = ServiceFaultPlan.from_spec("kill:leader,after=10,every=25,count=3", seed=0)
+    service = ConsensusService(6, machine="kv", t=4, seed=0, faults=plan)
+    workload = OpenLoopWorkload(8, 120, rate=0.2, rng=RandomSource(0))
+    report = service.run(workload)
+    assert report.ok and report.counters["acked"] == 120
+    assert report.rotations == 3 and report.latency["p99"] >= report.latency["p50"]
+
+
 def _sweep_cells(quick: bool):
     from repro.scenarios import expand_grid
 
@@ -224,6 +251,12 @@ def measure(quick: bool) -> dict:
         ),
         "sweep_serial_256c": _best_of(
             _kernel_sweep_serial_256c, repeats=3, min_seconds=0.5
+        ),
+        "service_kv_throughput": _best_of(
+            _kernel_service_kv_throughput, repeats=5, min_seconds=0.3
+        ),
+        "service_p99_latency": _best_of(
+            _kernel_service_p99_latency, repeats=5, min_seconds=0.3
         ),
         # The serial sweep is core-count independent, so it gates across
         # hosts; the pool sweep's score scales with parallelism and is

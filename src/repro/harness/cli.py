@@ -10,8 +10,12 @@ Subcommands
                     directory (streaming; ``--out`` writes the artifact)
 ``bench``           perf-gate kernels: measure / ``--check-against`` /
                     ``--write-baseline`` (wraps ``benchmarks/bench_perf_gate.py``)
+``service run``     the consensus service: stream client commands through
+                    leader-rotating log slots under optional ``--chaos``
+                    kill storms; reports throughput, p50/p99 latency, and
+                    exactly-once verification (exit 1 on degradation)
 ``experiment``      regenerate one of the paper's experiments (e1..e8)
-``list``            algorithms, adversaries, workloads, experiments
+``list``            algorithms, adversaries, workloads, machines, experiments
 ``explore``         exhaustive adversary search on a small system
 
 ``run --json`` and the ``scenario`` subcommands emit machine-readable
@@ -54,11 +58,13 @@ def _note_trace_ignored(backend: str) -> None:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.harness.experiments import ALL_EXPERIMENTS
+    from repro.rsm.machine import MACHINES
     from repro.scenarios.registry import ADVERSARIES, ALGORITHMS, WORKLOADS
 
     print("algorithms: ", ", ".join(ALGORITHMS.names()))
     print("adversaries:", ", ".join(ADVERSARIES.names()))
     print("workloads:  ", ", ".join(WORKLOADS.names()))
+    print("machines:   ", ", ".join(sorted(MACHINES)))
     print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
     if args.verbose:
         print()
@@ -346,6 +352,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(argv)
 
 
+def _cmd_service_run(args: argparse.Namespace) -> int:
+    from repro.fabric.faults import ServiceFaultPlan
+    from repro.service import (
+        ClosedLoopWorkload,
+        ConsensusService,
+        OpenLoopWorkload,
+        RetryPolicy,
+    )
+    from repro.util.rng import RandomSource
+
+    faults = None
+    if args.chaos is not None:
+        chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+        faults = ServiceFaultPlan.from_spec(args.chaos, seed=chaos_seed)
+    policy = RetryPolicy(timeout=args.timeout, max_attempts=args.max_attempts)
+    service = ConsensusService(
+        args.n,
+        machine=args.machine,
+        t=args.t,
+        seed=args.seed,
+        faults=faults,
+        policy=policy,
+        round_time=args.round_time,
+    )
+    if args.loop == "closed":
+        workload = ClosedLoopWorkload(
+            args.clients,
+            args.requests,
+            machine=args.machine,
+            think_time=args.think_time,
+        )
+    else:
+        workload = OpenLoopWorkload(
+            args.clients,
+            args.requests,
+            rate=args.rate,
+            machine=args.machine,
+            rng=RandomSource(args.seed).spawn("arrivals"),
+        )
+    report = service.run(workload)
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+        return 0 if report.ok else 1
+    c = report.counters
+    lat = report.latency
+    print(
+        f"service: n={report.n} t={report.t} machine={report.machine} "
+        f"loop={args.loop} -> {report.state.upper()}"
+    )
+    print(
+        f"traffic: {c['submitted']} submitted, {c['acked']} acked, "
+        f"{c['refused']} refused, {c['failed']} failed "
+        f"({c['retried']} retries, {c['deduped']} deduped)"
+    )
+    print(
+        f"log:     {c['slots']} slots ({c['noop_slots']} noop), "
+        f"{c['kills']} kills, {report.rotations} rotations "
+        f"(epoch {report.epoch}), {c['rejected_stale']} acks fenced"
+    )
+    print(
+        f"perf:    {report.throughput:.3f} acks/unit over {report.elapsed:.1f} "
+        f"units; latency p50={lat['p50']:.1f} p99={lat['p99']:.1f} "
+        f"max={lat['max']:.1f}"
+    )
+    survivors = ", ".join(f"p{pid}:{d}" for pid, d in sorted(report.digests.items()))
+    print(f"state:   {survivors}")
+    if report.budget_exhausted:
+        print(f"budget:  crash budget t={report.t} exhausted; drained honestly")
+    print(f"spec:    {'OK' if not report.problems else '; '.join(report.problems)}")
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.harness.experiments import ALL_EXPERIMENTS
     from repro.harness.report import render_experiment_markdown
@@ -511,6 +589,44 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also write the regeneratable atlas artifact JSON")
     p_as.add_argument("--json", action="store_true", help="machine-readable output")
     p_as.set_defaults(func=_cmd_atlas_summarize)
+
+    p_svc = sub.add_parser(
+        "service", help="consensus as a service: chaos-drilled traffic loops"
+    )
+    svc_sub = p_svc.add_subparsers(dest="service_command", required=True)
+    p_svr = svc_sub.add_parser(
+        "run", help="serve a client workload through the replicated log"
+    )
+    p_svr.add_argument("--n", type=int, default=5, help="replica count")
+    p_svr.add_argument("--t", type=int, default=None,
+                       help="crash budget (default: n-1)")
+    p_svr.add_argument("--machine", default="kv",
+                       help="replicated state machine (see 'list')")
+    p_svr.add_argument("--clients", type=int, default=4)
+    p_svr.add_argument("--requests", type=int, default=8,
+                       help="closed loop: requests per client; open loop: total")
+    p_svr.add_argument("--loop", choices=("closed", "open"), default="closed",
+                       help="closed: one outstanding per client; open: "
+                       "seeded Poisson arrivals at --rate")
+    p_svr.add_argument("--rate", type=float, default=0.5,
+                       help="open loop: arrivals per virtual-time unit")
+    p_svr.add_argument("--think-time", type=float, default=0.0,
+                       help="closed loop: delay between ack and next request")
+    p_svr.add_argument("--timeout", type=float, default=12.0,
+                       help="client ack deadline per attempt (virtual time)")
+    p_svr.add_argument("--max-attempts", type=int, default=8,
+                       help="client attempts before an honest failure")
+    p_svr.add_argument("--round-time", type=float, default=1.0,
+                       help="virtual-time cost of one consensus round")
+    p_svr.add_argument("--seed", type=int, default=0)
+    p_svr.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="service faults, e.g. 'kill:leader,after=3,"
+                       "every=4,count=2,point=rand' or 'raise:slot=5,until=2' "
+                       "(see repro.fabric.faults)")
+    p_svr.add_argument("--chaos-seed", type=int, default=None,
+                       help="seed resolving 'rand' targets (default: --seed)")
+    p_svr.add_argument("--json", action="store_true", help="machine-readable output")
+    p_svr.set_defaults(func=_cmd_service_run)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     p_exp.add_argument("name", help="e1..e8")

@@ -1,7 +1,7 @@
 """Replicated state machine on top of multi-shot Figure-1 consensus."""
 
 from repro.rsm.log import ReplicatedLog, ReplicaState, SlotResult
-from repro.rsm.machine import Command, Counter, KVStore, StateMachine
+from repro.rsm.machine import MACHINES, Command, Counter, KVStore, StateMachine
 
 __all__ = [
     "ReplicatedLog",
@@ -11,4 +11,5 @@ __all__ = [
     "Counter",
     "KVStore",
     "StateMachine",
+    "MACHINES",
 ]

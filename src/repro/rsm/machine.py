@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Command", "StateMachine", "KVStore", "Counter"]
+__all__ = ["Command", "StateMachine", "KVStore", "Counter", "MACHINES"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,17 +26,23 @@ class Command:
 
     ``origin`` is the replica that proposed it; ``op`` is the operation
     string interpreted by the state machine (machine-specific syntax).
+    ``tag`` is an optional ``(session_id, request_id)`` identity set by the
+    service layer — commands agree (and dedup) on the full value, so a
+    retried request that already committed is recognizable in the log.
     """
 
     origin: int
     op: str
+    tag: tuple[int, int] | None = None
 
     def bit_size(self) -> int:
         """Wire width when a command rides in a DATA message."""
-        return 16 + 8 * len(self.op.encode("utf-8"))
+        base = 16 + 8 * len(self.op.encode("utf-8"))
+        return base + (64 if self.tag is not None else 0)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"p{self.origin}:{self.op}"
+        ident = f" [{self.tag[0]}.{self.tag[1]}]" if self.tag is not None else ""
+        return f"p{self.origin}:{self.op}{ident}"
 
 
 class StateMachine(abc.ABC):
@@ -103,3 +109,10 @@ class Counter(StateMachine):
 
     def snapshot(self) -> Any:
         return self.value
+
+
+#: Registry of replicable state machines, by CLI/service name.
+MACHINES: dict[str, type[StateMachine]] = {
+    "kv": KVStore,
+    "counter": Counter,
+}

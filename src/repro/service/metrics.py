@@ -1,0 +1,89 @@
+"""Service metrics: latency percentiles and counter bookkeeping.
+
+The north star is "heavy traffic": the service's first-class outputs are
+throughput (acked commands per unit of virtual time) and the latency
+distribution clients actually observe — including the retries, leader
+rotations, and dedup round-trips chaos injects.  Percentiles use the
+nearest-rank definition (no interpolation): deterministic, exact on the
+small-to-medium histories the drills produce, and honest at the tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["percentile", "LatencyRecorder", "ServiceCounters"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    ``values`` need not be sorted; empty input raises (an empty latency
+    history has no percentiles — callers report 0 explicitly if they want
+    a placeholder).
+    """
+    if not values:
+        raise ConfigurationError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(len * q / 100)
+    return ordered[int(rank) - 1]
+
+
+@dataclass(slots=True)
+class LatencyRecorder:
+    """Ack latencies (first submission → ack, virtual time)."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, latency: float) -> None:
+        self.samples.append(latency)
+
+    def summary(self) -> dict[str, float]:
+        """p50/p99/mean/max over the recorded samples (zeros when empty)."""
+        if not self.samples:
+            return {"p50": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0, "count": 0}
+        return {
+            "p50": percentile(self.samples, 50.0),
+            "p99": percentile(self.samples, 99.0),
+            "mean": sum(self.samples) / len(self.samples),
+            "max": max(self.samples),
+            "count": len(self.samples),
+        }
+
+
+@dataclass(slots=True)
+class ServiceCounters:
+    """Everything the service counts while serving traffic."""
+
+    submitted: int = 0  # requests admitted (first submissions)
+    acked: int = 0  # requests acknowledged after commit
+    refused: int = 0  # arrivals rejected while draining/degraded
+    failed: int = 0  # requests failed honestly (retry/propose budget)
+    retried: int = 0  # client retry attempts fired
+    deduped: int = 0  # retries answered from the commit ledger
+    rejected_stale: int = 0  # acks fenced off (deposed-leader epochs)
+    slots: int = 0  # log slots committed
+    noop_slots: int = 0  # slots that decided a filler noop (lost proposals)
+    propose_retries: int = 0  # service-side propose attempts retried
+    kills: int = 0  # chaos kills actually injected
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "acked": self.acked,
+            "refused": self.refused,
+            "failed": self.failed,
+            "retried": self.retried,
+            "deduped": self.deduped,
+            "rejected_stale": self.rejected_stale,
+            "slots": self.slots,
+            "noop_slots": self.noop_slots,
+            "propose_retries": self.propose_retries,
+            "kills": self.kills,
+        }

@@ -1,0 +1,81 @@
+"""Leader ring: alive-set, deterministic rotation, epoch fencing.
+
+The service's leader is the replica whose proposal wins log slots.  With
+the paper's Figure-1 algorithm, round ``r`` of each slot is coordinated
+by ``p_r`` and crashed replicas enter every slot pre-crashed, so the
+winner is always the *lowest-id live replica* — the ring therefore keeps
+its members in pid order and rotation on a leader crash is simply
+"advance to the next live pid".  That is the `RoundManager` shape
+(leader starts rounds; ring/alive-set updates on failure) with the
+successor choice made deterministic instead of gossiped.
+
+Epochs provide fencing, the standard defense against deposed leaders
+("Expected Linear Round Synchronization" uses the same relay/epoch
+structure): every leader change bumps ``epoch``, proposals and acks are
+stamped with the epoch they were issued under, and the session layer
+rejects any ack whose epoch is no longer current.  A leader that crashed
+mid-slot may have decided (its slot can still commit) — its *ack* is the
+thing fencing kills, forcing the client through the retry/dedup path
+under the new leader.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LeaderRing"]
+
+
+class LeaderRing:
+    """Alive-set + current leader + fencing epoch for ``n`` replicas."""
+
+    __slots__ = ("n", "alive", "epoch", "rotations")
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ConfigurationError("need n >= 2 replicas in the ring")
+        self.n = n
+        self.alive: set[int] = set(range(1, n + 1))
+        self.epoch = 1
+        self.rotations = 0
+
+    @property
+    def leader(self) -> int | None:
+        """Current leader: the lowest-id live replica (None if all dead)."""
+        return min(self.alive) if self.alive else None
+
+    def successor(self, pid: int) -> int | None:
+        """Next live pid after ``pid`` in ring order (wrapping), or None.
+
+        Deterministic successor selection: every replica computes the
+        same answer from the same alive-set, no election needed.
+        """
+        for step in range(1, self.n + 1):
+            candidate = (pid - 1 + step) % self.n + 1
+            if candidate in self.alive:
+                return candidate
+        return None
+
+    def observe_crashes(self, pids) -> bool:
+        """Fold a slot's crash ledger into the alive-set.
+
+        Returns True when the leadership rotated (and bumps the fencing
+        epoch exactly once per rotation, however many replicas died).
+        """
+        before = self.leader
+        self.alive.difference_update(pids)
+        if self.alive and self.leader == before:
+            return False
+        self.epoch += 1
+        self.rotations += 1
+        return True
+
+    def fences(self, epoch: int) -> bool:
+        """True when ``epoch`` is current — stale-epoch acks are rejected."""
+        return epoch == self.epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LeaderRing(n={self.n}, leader={self.leader}, "
+            f"epoch={self.epoch}, alive={sorted(self.alive)})"
+        )

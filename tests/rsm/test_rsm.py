@@ -120,6 +120,50 @@ class TestReplicatedLog:
         assert slot.decided.op == "noop"
         assert log.check_invariants() == []
 
+    def test_leased_engine_is_reused_across_slots(self):
+        log = ReplicatedLog(4, KVStore, rng=RandomSource(1))
+        log.commit({1: Command(1, "set a 1")})
+        engine = log._engine
+        assert engine is not None
+        log.commit({1: Command(1, "set b 2")})
+        assert log._engine is engine  # refilled, not rebuilt
+
+    def test_engine_reuse_matches_fresh_engines_exactly(self):
+        # Same commands, same seed: the leased/refilled engine must
+        # produce slot-for-slot identical results to one built fresh per
+        # slot (the pre-lease behavior), crashes included.
+        def drive(fresh_each_slot):
+            log = ReplicatedLog(4, KVStore, t=2, rng=RandomSource(9))
+            slots = []
+            for k in range(6):
+                if fresh_each_slot:
+                    log._engine = None
+                events = []
+                if k == 1:
+                    events.append(CrashEvent(1, 1, CrashPoint.DURING_DATA))
+                if k == 3:
+                    events.append(CrashEvent(3, 2, CrashPoint.DURING_CONTROL))
+                proposer = log.live_pids[0]
+                slots.append(
+                    log.commit({proposer: Command(proposer, f"set k{k} v{k}")}, events)
+                )
+            assert log.check_invariants() == []
+            digests = {pid: log.replicas[pid].machine.digest() for pid in log.live_pids}
+            return slots, digests
+
+        reused, reused_digests = drive(fresh_each_slot=False)
+        fresh, fresh_digests = drive(fresh_each_slot=True)
+        assert reused == fresh
+        assert reused_digests == fresh_digests
+
+    def test_command_tag_rides_through_agreement(self):
+        log = ReplicatedLog(3, KVStore, rng=RandomSource(2))
+        tagged = Command(1, "set a 1", tag=(4, 9))
+        slot = log.commit({1: tagged})
+        assert slot.decided.tag == (4, 9)
+        assert log.replicas[2].log[0].tag == (4, 9)
+        assert tagged.bit_size() == Command(1, "set a 1").bit_size() + 64
+
     @settings(max_examples=30, deadline=None)
     @given(data=st.data())
     def test_property_replicas_converge(self, data):

@@ -1,0 +1,67 @@
+"""CLI face of the service: ``repro-consensus service run`` and ``list``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.harness.cli import main
+
+
+def _run(*extra):
+    return main(["service", "run", *extra])
+
+
+class TestServiceRunCLI:
+    def test_clean_run_exits_zero(self, capsys):
+        assert _run("--n", "4", "--clients", "2", "--requests", "3") == 0
+        out = capsys.readouterr().out
+        assert "COMPLETED" in out and "spec:    OK" in out
+
+    def test_json_payload_shape(self, capsys):
+        assert _run("--n", "4", "--clients", "2", "--requests", "3",
+                    "--json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] and doc["state"] == "completed"
+        assert doc["counters"]["acked"] == 6
+        assert set(doc["latency"]) == {"p50", "p99", "mean", "max", "count"}
+        assert doc["problems"] == []
+
+    def test_chaos_storm_exits_zero_and_reports_rotations(self, capsys):
+        assert _run("--n", "5", "--t", "3", "--clients", "3", "--requests", "6",
+                    "--chaos", "kill:leader,after=2,every=4,count=2",
+                    "--seed", "7", "--json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["rotations"] == 2 and doc["counters"]["kills"] == 2
+        assert len(set(doc["digests"].values())) == 1
+
+    def test_budget_exhaustion_exits_one(self, capsys):
+        assert _run("--n", "4", "--t", "2", "--clients", "2", "--requests", "8",
+                    "--chaos", "kill:leader,after=1,every=2,count=4",
+                    "--seed", "3", "--json") == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["state"] == "degraded" and doc["budget_exhausted"]
+        assert doc["counters"]["refused"] > 0
+        assert doc["problems"] == []
+
+    def test_open_loop_flag(self, capsys):
+        assert _run("--loop", "open", "--rate", "0.5", "--clients", "3",
+                    "--requests", "9", "--json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["submitted"] == 9
+
+    def test_same_seed_same_json(self, capsys):
+        args = ("--n", "5", "--t", "3", "--clients", "3", "--requests", "5",
+                "--chaos", "kill:leader,after=3", "--seed", "42", "--json")
+        assert _run(*args) == 0
+        first = capsys.readouterr().out
+        assert _run(*args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_chaos_spec_is_a_config_error(self, capsys):
+        assert _run("--chaos", "kill:leader,pid=2") == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_names_machines(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "machines:" in out and "kv" in out and "counter" in out

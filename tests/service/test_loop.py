@@ -1,0 +1,249 @@
+"""The consensus service under traffic, chaos, and budget exhaustion.
+
+The drills this file pins are the PR's acceptance criteria: a seeded
+kill-the-leader storm must leave identical replica digests, a gap-free
+committed log, and every acknowledged command committed exactly once;
+exhausting the crash budget must degrade honestly instead of wedging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.faults import ServiceFaultPlan
+from repro.rsm.machine import MACHINES
+from repro.service import (
+    ClosedLoopWorkload,
+    ConsensusService,
+    OpenLoopWorkload,
+    RetryPolicy,
+)
+from repro.service.sessions import CommitRecord
+from repro.util.rng import RandomSource
+
+
+def exactly_once(service, report):
+    """Every acked command appears exactly once in the committed log."""
+    live = service.log.live_pids
+    reference = service.log.replicas[live[0]].log
+    tags = [cmd.tag for cmd in reference if cmd.tag is not None]
+    assert len(tags) == len(set(tags)), "a command committed twice"
+    acked = {
+        r.key for r in service.requests.values() if r.acked_at is not None
+    }
+    assert acked <= set(tags), "an acked command is missing from the log"
+    assert len(acked) == report.counters["acked"]
+
+
+class TestFailureFree:
+    def test_closed_loop_all_acked_one_slot_each(self):
+        service = ConsensusService(4, machine="kv", t=2, seed=1)
+        report = service.run(ClosedLoopWorkload(3, 4))
+        assert report.ok and report.state == "completed"
+        assert report.problems == []
+        c = report.counters
+        assert c["acked"] == c["submitted"] == 12
+        assert c["slots"] == 12 and c["noop_slots"] == 0
+        assert c["retried"] == 0 and c["deduped"] == 0
+        assert len(set(report.digests.values())) == 1
+        assert report.throughput > 0
+        exactly_once(service, report)
+
+    def test_counter_machine(self):
+        service = ConsensusService(3, machine="counter", seed=2)
+        report = service.run(ClosedLoopWorkload(2, 5, machine="counter"))
+        assert report.ok and report.counters["acked"] == 10
+        value = service.log.replicas[1].machine.snapshot()
+        assert isinstance(value, int) and value != 0
+
+    def test_latency_counts_every_ack(self):
+        service = ConsensusService(4, seed=3)
+        report = service.run(ClosedLoopWorkload(2, 3))
+        assert report.latency["count"] == 6
+        assert report.latency["p99"] >= report.latency["p50"] > 0
+
+
+class TestChaosDrill:
+    """The acceptance drill: seeded leader-kill storms stay exactly-once."""
+
+    def _storm(self, seed=7, point="rand"):
+        plan = ServiceFaultPlan.from_spec(
+            f"kill:leader,after=2,every=4,count=2,point={point}", seed=seed
+        )
+        service = ConsensusService(5, machine="kv", t=3, seed=seed, faults=plan)
+        report = service.run(ClosedLoopWorkload(3, 6))
+        return service, report
+
+    def test_storm_commits_every_acked_command_exactly_once(self):
+        service, report = self._storm()
+        assert report.ok and report.state == "completed"
+        assert report.problems == []
+        c = report.counters
+        assert c["kills"] == 2 and report.rotations == 2
+        assert report.epoch == 3
+        assert c["acked"] == c["submitted"] == 18
+        assert c["failed"] == 0 and c["refused"] == 0
+        exactly_once(service, report)
+
+    def test_storm_digests_identical_across_survivors(self):
+        service, report = self._storm()
+        assert sorted(report.digests) == service.log.live_pids
+        assert len(set(report.digests.values())) == 1
+
+    def test_storm_log_is_gap_free(self):
+        service, report = self._storm()
+        live = service.log.live_pids
+        reference = service.log.replicas[live[0]].log
+        assert len(reference) == report.counters["slots"]
+        assert all(cmd is not None for cmd in reference)
+        assert service.log.check_invariants() == []
+
+    def test_storm_is_deterministic(self):
+        _, a = self._storm()
+        _, b = self._storm()
+        assert a.to_dict() == b.to_dict()
+
+    def test_ack_point_fences_deposed_leader_and_dedups_retry(self):
+        # point=after: the command commits but the leader dies without
+        # acking — the stale-epoch ack must be fenced and the client's
+        # retry answered from the dedup ledger, not re-proposed.
+        service, report = self._storm(point="after")
+        c = report.counters
+        assert report.ok and c["rejected_stale"] == 2
+        assert c["deduped"] == 2 and c["retried"] >= 2
+        assert c["noop_slots"] == 0  # commands committed despite the kills
+        exactly_once(service, report)
+
+    def test_before_point_loses_proposal_and_retry_reproposes(self):
+        # point=before: the leader dies without sending, a successor's
+        # noop wins the slot, and the client's retry re-proposes.
+        service, report = self._storm(point="before")
+        c = report.counters
+        assert report.ok and c["noop_slots"] == 2
+        assert c["deduped"] == 0  # nothing committed on the first try
+        assert c["retried"] >= 2
+        assert c["slots"] == c["submitted"] + c["noop_slots"]
+        exactly_once(service, report)
+
+    def test_follower_kill_never_rotates(self):
+        plan = ServiceFaultPlan.from_spec("kill:pid=4,after=1", seed=0)
+        service = ConsensusService(5, t=2, seed=5, faults=plan)
+        report = service.run(ClosedLoopWorkload(2, 4))
+        assert report.ok
+        assert report.rotations == 0 and report.epoch == 1
+        assert report.counters["kills"] == 1
+        assert report.crashed == [4]
+
+    def test_open_loop_storm(self):
+        plan = ServiceFaultPlan.from_spec(
+            "kill:leader,after=4,every=6,count=2", seed=9
+        )
+        service = ConsensusService(5, t=3, seed=9, faults=plan)
+        workload = OpenLoopWorkload(4, 24, rate=0.25, rng=RandomSource(9))
+        report = service.run(workload)
+        assert report.ok and report.counters["acked"] == 24
+        exactly_once(service, report)
+
+
+class TestDegradation:
+    def test_budget_exhaustion_drains_honestly(self):
+        plan = ServiceFaultPlan.from_spec(
+            "kill:leader,after=1,every=2,count=4", seed=1
+        )
+        service = ConsensusService(4, t=2, seed=3, faults=plan)
+        report = service.run(ClosedLoopWorkload(2, 8))
+        assert report.state == "degraded" and report.budget_exhausted
+        assert not report.ok
+        c = report.counters
+        assert c["refused"] > 0  # new arrivals shed, not queued forever
+        assert c["acked"] > 0  # in-flight work still served
+        assert c["kills"] == 2  # budget capped the storm at t
+        assert report.problems == []  # degraded, never incorrect
+        assert len(set(report.digests.values())) == 1
+        exactly_once(service, report)
+
+    def test_degraded_run_settles_every_request(self):
+        plan = ServiceFaultPlan.from_spec("kill:leader,every=1,count=5", seed=2)
+        service = ConsensusService(4, t=3, seed=2, faults=plan)
+        report = service.run(ClosedLoopWorkload(3, 5))
+        assert report.state == "degraded"
+        assert all(r.settled for r in service.requests.values())
+        c = report.counters
+        assert c["submitted"] == c["acked"] + c["failed"]
+
+
+class TestProposeFaults:
+    def test_transient_raise_retries_then_serves(self):
+        plan = ServiceFaultPlan.from_spec("raise:slot=2,until=2", seed=0)
+        service = ConsensusService(3, seed=4, faults=plan)
+        report = service.run(ClosedLoopWorkload(2, 3))
+        assert report.ok
+        assert report.counters["propose_retries"] == 2
+        assert report.counters["failed"] == 0
+
+    def test_poison_raise_fails_one_request_honestly(self):
+        plan = ServiceFaultPlan.from_spec("raise:slot=2", seed=0)
+        service = ConsensusService(3, seed=4, faults=plan)
+        report = service.run(ClosedLoopWorkload(2, 3))
+        assert report.state == "completed" and not report.ok
+        c = report.counters
+        assert c["failed"] == 1
+        assert c["acked"] == c["submitted"] - 1
+        assert c["propose_retries"] == service.propose_retry_limit
+        assert report.problems == []
+        exactly_once(service, report)
+
+
+class TestHistoryChecker:
+    def test_detects_ledger_slot_mismatch(self):
+        service = ConsensusService(3, seed=6)
+        report = service.run(ClosedLoopWorkload(1, 3))
+        assert report.ok
+        # White-box: corrupt the ledger and re-run the checker.
+        key = (1, 1)
+        service.table._commits[key] = CommitRecord(slot=3, epoch=1, leader=1)
+        problems = service._history_problems()
+        assert any("ledgered at slot" in p for p in problems)
+
+    def test_detects_duplicate_application(self):
+        service = ConsensusService(3, seed=6)
+        report = service.run(ClosedLoopWorkload(1, 3))
+        assert report.ok
+        live = service.log.live_pids
+        log = service.log.replicas[live[0]].log
+        log.append(log[0])  # replay a tagged command
+        problems = service._history_problems()
+        assert any("applied 2 times" in p for p in problems)
+
+
+class TestValidation:
+    def test_unknown_machine(self):
+        with pytest.raises(ConfigurationError):
+            ConsensusService(3, machine="queue")
+
+    def test_bad_round_time(self):
+        with pytest.raises(ConfigurationError):
+            ConsensusService(3, round_time=0.0)
+
+    def test_service_is_one_shot(self):
+        service = ConsensusService(3, seed=0)
+        service.run(ClosedLoopWorkload(1, 1))
+        with pytest.raises(ConfigurationError):
+            service.run(ClosedLoopWorkload(1, 1))
+
+    def test_custom_retry_policy_is_honored(self):
+        plan = ServiceFaultPlan.from_spec("raise:slot=1", seed=0)
+        policy = RetryPolicy(timeout=2.0, max_attempts=2)
+        service = ConsensusService(
+            3, seed=0, faults=plan, policy=policy, propose_retry_limit=1
+        )
+        report = service.run(ClosedLoopWorkload(1, 1))
+        assert report.counters["failed"] == 1
+
+
+def test_machines_registry_matches_service_support():
+    for name in MACHINES:
+        service = ConsensusService(3, machine=name, seed=0)
+        report = service.run(ClosedLoopWorkload(1, 2, machine=name))
+        assert report.ok, name

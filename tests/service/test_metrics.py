@@ -1,0 +1,55 @@
+"""Percentiles and counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.metrics import LatencyRecorder, ServiceCounters, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50.0) == 50.0
+        assert percentile(values, 99.0) == 99.0
+        assert percentile(values, 100.0) == 100.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_unsorted_input_and_small_samples(self):
+        assert percentile([9.0, 1.0, 5.0], 50.0) == 5.0
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50.0)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101.0)
+
+
+class TestLatencyRecorder:
+    def test_summary(self):
+        rec = LatencyRecorder()
+        for v in (1.0, 2.0, 3.0, 10.0):
+            rec.record(v)
+        s = rec.summary()
+        assert s["p50"] == 2.0
+        assert s["p99"] == 10.0
+        assert s["max"] == 10.0
+        assert s["mean"] == 4.0
+        assert s["count"] == 4
+
+    def test_empty_summary_is_zeros(self):
+        assert LatencyRecorder().summary() == {
+            "p50": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0, "count": 0,
+        }
+
+
+def test_counters_to_dict_round_trip():
+    c = ServiceCounters(submitted=3, acked=2, deduped=1)
+    d = c.to_dict()
+    assert d["submitted"] == 3 and d["acked"] == 2 and d["deduped"] == 1
+    assert set(d) == {
+        "submitted", "acked", "refused", "failed", "retried", "deduped",
+        "rejected_stale", "slots", "noop_slots", "propose_retries", "kills",
+    }

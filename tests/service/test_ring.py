@@ -1,0 +1,63 @@
+"""Leader ring: rotation determinism and epoch fencing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.ring import LeaderRing
+
+
+class TestLeaderRing:
+    def test_initial_leader_is_lowest_pid(self):
+        ring = LeaderRing(5)
+        assert ring.leader == 1
+        assert ring.epoch == 1
+        assert ring.alive == {1, 2, 3, 4, 5}
+
+    def test_needs_two_replicas(self):
+        with pytest.raises(ConfigurationError):
+            LeaderRing(1)
+
+    def test_leader_crash_rotates_and_bumps_epoch(self):
+        ring = LeaderRing(4)
+        assert ring.observe_crashes([1])
+        assert ring.leader == 2
+        assert ring.epoch == 2
+        assert ring.rotations == 1
+
+    def test_follower_crash_keeps_leader_and_epoch(self):
+        ring = LeaderRing(4)
+        assert not ring.observe_crashes([3])
+        assert ring.leader == 1
+        assert ring.epoch == 1
+        assert ring.rotations == 0
+
+    def test_multi_crash_bumps_epoch_once(self):
+        ring = LeaderRing(5)
+        assert ring.observe_crashes([1, 2, 4])
+        assert ring.leader == 3
+        assert ring.epoch == 2  # one rotation, however many died
+
+    def test_successor_wraps_over_dead_pids(self):
+        ring = LeaderRing(5)
+        ring.observe_crashes([2, 3])
+        assert ring.successor(1) == 4
+        assert ring.successor(5) == 1
+        ring.observe_crashes([1, 4])
+        assert ring.successor(5) == 5  # only itself left
+
+    def test_fences_only_current_epoch(self):
+        ring = LeaderRing(3)
+        stamped = ring.epoch
+        assert ring.fences(stamped)
+        ring.observe_crashes([1])
+        assert not ring.fences(stamped)
+        assert ring.fences(ring.epoch)
+
+    def test_observe_is_idempotent_for_known_crashes(self):
+        ring = LeaderRing(3)
+        ring.observe_crashes([1])
+        epoch = ring.epoch
+        assert not ring.observe_crashes([1])
+        assert ring.epoch == epoch

@@ -1,0 +1,99 @@
+"""Service chaos grammar: parsing, binding, and firing schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.faults import (
+    FaultInjected,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
+    parse_service_chaos,
+)
+
+
+class TestGrammar:
+    def test_leader_kill_with_storm(self):
+        (spec,) = parse_service_chaos("kill:leader,after=2,every=4,count=3")
+        assert spec.kind == "kill" and spec.leader
+        assert spec.after == 2 and spec.every == 4 and spec.count == 3
+        assert spec.point == "rand"
+
+    def test_pid_kill_with_point(self):
+        (spec,) = parse_service_chaos("kill:pid=5,point=control")
+        assert spec.pid == 5 and not spec.leader
+        assert spec.point == "control"
+
+    def test_raise_clause_and_multiple_clauses(self):
+        kill, raise_ = parse_service_chaos("kill:leader;raise:slot=7,until=2")
+        assert kill.kind == "kill"
+        assert raise_.kind == "raise" and raise_.slot == 7 and raise_.until == 2
+
+    def test_rand_targets_survive_parsing(self):
+        (spec,) = parse_service_chaos("kill:pid=rand,point=rand")
+        assert spec.pid == "rand" and spec.point == "rand"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "kill:leader,pid=2",  # both targets
+            "kill:after=1",  # neither target
+            "kill:leader,count=2",  # count without every
+            "kill:leader,point=sideways",  # unknown point word
+            "raise:until=2",  # raise without slot
+            "raise:slot=0",  # slots are 1-based
+            "hang:shard=1",  # fabric vocabulary, not service
+            "kill:leader,worker=1",  # fabric key on a service clause
+            "",  # no clauses
+        ],
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_service_chaos(bad)
+
+    def test_spec_validation_direct(self):
+        with pytest.raises(ConfigurationError):
+            ServiceFaultSpec(kind="warp")
+        with pytest.raises(ConfigurationError):
+            ServiceFaultSpec(kind="kill", leader=True, every=0)
+
+
+class TestPlan:
+    def test_bind_resolves_rand_deterministically(self):
+        plan = ServiceFaultPlan.from_spec("kill:pid=rand;raise:slot=rand", seed=11)
+        a = plan.bind(replicas=6, slots=40)
+        b = plan.bind(replicas=6, slots=40)
+        assert a == b
+        assert 1 <= a.specs[0].pid <= 6
+        assert 1 <= a.specs[1].slot <= 40
+
+    def test_single_kill_fires_once(self):
+        plan = ServiceFaultPlan.from_spec("kill:leader,after=2")
+        fired = [s for s in range(1, 10) if plan.kills_for(s)]
+        assert fired == [3]
+
+    def test_storm_fires_on_period_capped_by_count(self):
+        plan = ServiceFaultPlan.from_spec("kill:leader,after=1,every=3,count=3")
+        fired = [s for s in range(1, 20) if plan.kills_for(s)]
+        assert fired == [2, 5, 8]
+
+    def test_uncapped_storm_keeps_firing(self):
+        plan = ServiceFaultPlan.from_spec("kill:leader,every=2")
+        fired = [s for s in range(1, 8) if plan.kills_for(s)]
+        assert fired == [1, 3, 5, 7]
+
+    def test_transient_raise_stops_after_until(self):
+        plan = ServiceFaultPlan.from_spec("raise:slot=4,until=2")
+        with pytest.raises(FaultInjected):
+            plan.check_slot(4, 0)
+        with pytest.raises(FaultInjected):
+            plan.check_slot(4, 1)
+        plan.check_slot(4, 2)  # retried past until: clean
+        plan.check_slot(5, 0)  # other slots never fire
+
+    def test_poison_raise_never_stops(self):
+        plan = ServiceFaultPlan.from_spec("raise:slot=2")
+        for attempt in range(6):
+            with pytest.raises(FaultInjected):
+                plan.check_slot(2, attempt)

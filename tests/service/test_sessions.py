@@ -1,0 +1,69 @@
+"""Session layer: retry schedules, the dedup ledger, and ack fencing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.ring import LeaderRing
+from repro.service.sessions import (
+    Ack,
+    CommitRecord,
+    Request,
+    RetryPolicy,
+    SessionTable,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=8.0)
+        assert policy.backoff(1) == 0.0  # first attempt: no wait
+        assert policy.backoff(2) == 1.0
+        assert policy.backoff(3) == 2.0
+        assert policy.backoff(4) == 4.0
+        assert policy.backoff(5) == 8.0
+        assert policy.backoff(9) == 8.0  # capped
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestRequest:
+    def test_settled_states(self):
+        req = Request(1, 1, "set a 1", submitted_at=0.0, deadline=5.0)
+        assert not req.settled
+        req.acked_at = 3.0
+        assert req.settled
+        failed = Request(1, 2, "set a 2", submitted_at=0.0, deadline=5.0)
+        failed.failed = True
+        assert failed.settled
+
+    def test_key_identity(self):
+        req = Request(3, 7, "noop", submitted_at=0.0, deadline=1.0)
+        assert req.key == (3, 7)
+
+
+class TestSessionTable:
+    def test_dedup_rejects_second_commit(self):
+        table = SessionTable()
+        first = CommitRecord(slot=4, epoch=1, leader=1)
+        assert table.record_commit((1, 1), first)
+        assert not table.record_commit((1, 1), CommitRecord(slot=9, epoch=2, leader=2))
+        # The original entry wins: retries ack the first commit.
+        assert table.committed((1, 1)) == first
+        assert len(table) == 1
+
+    def test_fencing_rejects_stale_epoch_ack(self):
+        table = SessionTable()
+        ring = LeaderRing(3)
+        stale = Ack(1, 1, slot=2, epoch=ring.epoch, leader=1, at=5.0)
+        ring.observe_crashes([1])  # leader deposed: epoch moved on
+        assert not table.accept_ack(stale, ring)
+        assert table.rejected_stale == 1
+        fresh = Ack(1, 1, slot=2, epoch=ring.epoch, leader=2, at=9.0)
+        assert table.accept_ack(fresh, ring)
+        assert table.rejected_stale == 1

@@ -1,0 +1,111 @@
+"""Workload generators: arrival semantics in virtual time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.traffic import (
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    command_stream,
+)
+from repro.util.rng import RandomSource
+
+
+class TestCommandStream:
+    def test_kv_ops_are_valid_and_deterministic(self):
+        ops = [command_stream("kv", 1, seq) for seq in range(14)]
+        assert ops == [command_stream("kv", 1, seq) for seq in range(14)]
+        assert all(op.startswith(("set ", "del ")) for op in ops)
+        assert any(op.startswith("del ") for op in ops)
+
+    def test_counter_ops(self):
+        ops = [command_stream("counter", 2, seq) for seq in range(10)]
+        assert all(op.startswith(("add ", "sub ")) for op in ops)
+
+    def test_unknown_machine(self):
+        with pytest.raises(ConfigurationError):
+            command_stream("queue", 1, 0)
+
+
+class TestClosedLoop:
+    def test_one_outstanding_per_client(self):
+        wl = ClosedLoopWorkload(3, 2)
+        assert wl.total_requests == 6
+        first = wl.due(0.0)
+        assert [s for s, _ in first] == [1, 2, 3]
+        assert wl.due(0.0) == []  # all waiting: nothing new
+        wl.on_settle(2, 5.0)
+        nxt = wl.due(5.0)
+        assert [s for s, _ in nxt] == [2]
+
+    def test_think_time_delays_next_request(self):
+        wl = ClosedLoopWorkload(1, 3, think_time=4.0)
+        wl.due(0.0)
+        wl.on_settle(1, 10.0)
+        assert wl.due(10.0) == []
+        assert wl.next_arrival() == 14.0
+        assert len(wl.due(14.0)) == 1
+
+    def test_exhausted_after_quota(self):
+        wl = ClosedLoopWorkload(2, 1)
+        assert not wl.exhausted()
+        wl.due(0.0)
+        assert wl.exhausted()  # quota issued; no future arrivals ever
+
+    def test_refusal_halts_client(self):
+        wl = ClosedLoopWorkload(1, 5)
+        wl.due(0.0)
+        wl.on_refuse(1)
+        assert wl.due(0.0) == []
+        assert wl.exhausted()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClosedLoopWorkload(0, 1)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopWorkload(1, 0)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopWorkload(1, 1, think_time=-1.0)
+
+
+class TestOpenLoop:
+    def test_arrivals_are_seeded_and_ordered(self):
+        a = OpenLoopWorkload(2, 10, rate=1.0, rng=RandomSource(3))
+        b = OpenLoopWorkload(2, 10, rate=1.0, rng=RandomSource(3))
+        times_a, times_b = [], []
+        while not a.exhausted():
+            t = a.next_arrival()
+            times_a.append(t)
+            a.due(t)
+        while not b.exhausted():
+            t = b.next_arrival()
+            times_b.append(t)
+            b.due(t)
+        assert times_a == times_b
+        assert times_a == sorted(times_a)
+
+    def test_due_drains_past_arrivals(self):
+        wl = OpenLoopWorkload(3, 12, rate=2.0, rng=RandomSource(0))
+        everything = wl.due(1e9)
+        assert len(everything) == 12
+        assert wl.exhausted()
+        assert wl.next_arrival() is None
+        # Round-robin session assignment.
+        assert [s for s, _ in everything[:3]] == [1, 2, 3]
+
+    def test_settle_does_not_gate_arrivals(self):
+        wl = OpenLoopWorkload(1, 3, rate=1.0, rng=RandomSource(1))
+        t = wl.next_arrival()
+        wl.due(t)
+        wl.on_settle(1, t)  # no-op by contract
+        assert wl.next_arrival() > t
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OpenLoopWorkload(0, 1)
+        with pytest.raises(ConfigurationError):
+            OpenLoopWorkload(1, 0)
+        with pytest.raises(ConfigurationError):
+            OpenLoopWorkload(1, 1, rate=0.0)
