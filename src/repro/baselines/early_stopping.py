@@ -41,8 +41,12 @@ from repro.sync.api import (
     RoundInbox,
     SendPlan,
     SyncProcess,
+    VectorAlgorithm,
+    VectorSend,
     register_batched_table,
+    register_vector_table,
 )
+from repro.util.columns import all_int64, bool_column, int_column, put, take
 from repro.util.tables import fill_column, refill_column
 
 __all__ = ["EarlyStoppingConsensus"]
@@ -166,6 +170,146 @@ class _EarlyStoppingTable(BatchedAlgorithm):
                     flagged = True
             est[pid] = my_est
             if round_no == horizon[pid]:
+                decisions[pid] = my_est
+                continue
+            if flagged or nbr == prev_nbr[pid]:
+                early[pid] = True
+            prev_nbr[pid] = nbr
+        return decisions
+
+
+@register_vector_table(EarlyStoppingConsensus)
+class _EarlyStoppingVectorTable(VectorAlgorithm):
+    """Array-columnar early-stopping: int64 ``est``/``nbr``, bool ``early``.
+
+    The crash-free round has a closed form the whole-column state makes
+    one pass: every sender reached every receiver, so each non-early
+    receiver's new estimate is the *global* minimum over the active set,
+    its ``nbr`` equals the active count, and the flag spreads to all or
+    none.  Crash rounds reconstruct per receiver from the truncated
+    sends (bounded by ``f`` rounds per run).  Requires plain-int
+    proposals and a uniform horizon; anything else falls back to the
+    list-batched table.
+    """
+
+    __slots__ = ("n", "horizon", "est", "early", "prev_nbr", "dests")
+
+    def __init__(self, n: int, horizon: int, est: Any, early: Any, prev_nbr: Any) -> None:
+        self.n = n
+        self.horizon = horizon  # uniform t + 1
+        self.est = est
+        self.early = early
+        self.prev_nbr = prev_nbr
+        self.dests: list[tuple[int, ...]] = [
+            tuple(j for j in range(1, n + 1) if j != pid) for pid in range(n + 1)
+        ]
+
+    @classmethod
+    def from_processes(
+        cls, processes: Sequence[SyncProcess]
+    ) -> "_EarlyStoppingVectorTable | None":
+        horizon = processes[0].t + 1
+        if any(p.t + 1 != horizon for p in processes):
+            return None
+        if not all_int64([p.est for p in processes]):
+            return None
+        n = processes[0].n
+        est = [0] * (n + 1)
+        early = [False] * (n + 1)
+        prev_nbr = [0] * (n + 1)
+        for p in processes:
+            est[p.pid] = p.est
+            early[p.pid] = p.early
+            prev_nbr[p.pid] = p._prev_nbr
+        return cls(
+            n, horizon, int_column(est), bool_column(early), int_column(prev_nbr)
+        )
+
+    supports_refill = True
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        if not all_int64(proposals):
+            return False
+        refill_column(self.est, proposals, offset=1)
+        fill_column(self.early, False, offset=1)
+        fill_column(self.prev_nbr, self.n, offset=1)
+        return True
+
+    def send_phase_vector(self, round_no: int, active: Sequence[int]) -> list[VectorSend]:
+        # Every active process broadcasts (est, early) to all others; the
+        # payload tuples carry Python scalars (bit-accounting parity).
+        dests = self.dests
+        ests = take(self.est, active)
+        earlies = take(self.early, active)
+        return [
+            (pid, dests[pid], (e, bool(ey)), ())
+            for pid, e, ey in zip(active, ests, earlies)
+        ]
+
+    def compute_phase_vector(
+        self,
+        round_no: int,
+        receivers: set[int],
+        receiver_order: list[int],
+        sends: list[VectorSend],
+        crash_free: bool,
+    ) -> dict[int, Any]:
+        est = self.est
+        early = self.early
+        prev_nbr = self.prev_nbr
+        decisions: dict[int, Any] = {}
+        ro = receiver_order
+        if crash_free:
+            # Senders == receivers: one global minimum, one shared nbr.
+            ests = take(est, ro)
+            earlies = take(early, ro)
+            m = min(ests)
+            flagged = any(earlies)
+            nbr = len(ro)
+            if round_no == self.horizon:
+                # Everyone decides: early processes their broadcast value,
+                # the rest the global minimum (ascending pid order).
+                for pid, e, v in zip(ro, earlies, ests):
+                    decisions[pid] = v if e else m
+                return decisions
+            stayers = [pid for pid, e in zip(ro, earlies) if not e]
+            for pid, e, v in zip(ro, earlies, ests):
+                if e:
+                    decisions[pid] = v
+            put(est, stayers, m)
+            if flagged:
+                put(early, stayers, True)
+            else:
+                flips = [pid for pid in stayers if prev_nbr[pid] == nbr]
+                put(early, flips, True)
+            put(prev_nbr, stayers, nbr)
+            return decisions
+        # Crash round: per-receiver reconstruction over the truncated sends.
+        full = self.n - 1
+        for pid in ro:
+            if early[pid]:
+                decisions[pid] = int(est[pid])
+                continue
+            my_est = int(est[pid])
+            my_key = value_key(my_est)
+            flagged = False
+            count = 0
+            for sender, dests, payload, _control in sends:
+                if sender == pid:
+                    continue
+                if len(dests) != full and pid not in dests:
+                    continue  # truncated subset missing this receiver
+                count += 1
+                got, got_early = payload
+                key = value_key(got)
+                if key < my_key:
+                    my_est = got
+                    my_key = key
+                if got_early:
+                    flagged = True
+            nbr = count + 1
+            est[pid] = my_est
+            if round_no == self.horizon:
                 decisions[pid] = my_est
                 continue
             if flagged or nbr == prev_nbr[pid]:

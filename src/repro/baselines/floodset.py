@@ -35,8 +35,16 @@ from repro.sync.api import (
     RoundInbox,
     SendPlan,
     SyncProcess,
+    VectorAlgorithm,
+    VectorSend,
     register_batched_table,
+    register_vector_table,
 )
+from repro.util.columns import HAVE_NUMPY, int64_fits, np, or_at, take, uint64_column
+
+#: Fallback-path mask clamp: ``~known`` on Python ints goes negative, the
+#: ``array("Q")`` column only stores 64-bit non-negatives.
+_MASK64 = (1 << 64) - 1
 
 #: Shared "learned nothing" value for the relay column: only ever tested for
 #: emptiness or subtracted from, never mutated in place.
@@ -164,3 +172,171 @@ class _FloodSetTable(BatchedAlgorithm):
             if round_no == horizon[pid]:
                 decisions[pid] = min(known[pid], key=value_key)
         return decisions
+
+
+@register_vector_table(FloodSetConsensus)
+class _FloodSetVectorTable(VectorAlgorithm):
+    """Bitmask FloodSet: each value set as one uint64 word per process.
+
+    Eligible when the run's value universe is at most 64 distinct plain
+    ints (and the horizon is uniform): value → bit position in ascending
+    value order, so set union is bitwise OR, "learned nothing new" is
+    ``incoming & ~known == 0``, and the horizon decision — the minimum of
+    ``W`` — is the lowest set bit.  The crash-free round is three
+    whole-column operations; payloads decode back to the exact frozensets
+    the object path sends (cached per mask, so repeated relays cost a
+    dict hit).
+    """
+
+    __slots__ = ("n", "horizon", "universe", "bit_of", "known", "new", "dests", "_payloads")
+
+    def __init__(self, n: int, horizon: int, universe: list[int], known: Any, new: Any) -> None:
+        self.n = n
+        self.horizon = horizon  # uniform t + 1
+        self.universe = universe  # bit -> value, ascending
+        self.bit_of = {v: i for i, v in enumerate(universe)}
+        self.known = known
+        self.new = new
+        self.dests: list[tuple[int, ...]] = [
+            tuple(j for j in range(1, n + 1) if j != pid) for pid in range(n + 1)
+        ]
+        self._payloads: dict[int, frozenset[int]] = {}
+
+    @classmethod
+    def from_processes(cls, processes: Sequence[SyncProcess]) -> "_FloodSetVectorTable | None":
+        horizon = processes[0].horizon
+        if any(p.horizon != horizon for p in processes):
+            return None
+        values: set[Any] = set()
+        for p in processes:
+            values |= p.known
+        if len(values) > 64 or not all(int64_fits(v) for v in values):
+            return None
+        universe = sorted(values)
+        bit_of = {v: i for i, v in enumerate(universe)}
+        n = processes[0].n
+        known = [0] * (n + 1)
+        new = [0] * (n + 1)
+        for p in processes:
+            for v in p.known:
+                known[p.pid] |= 1 << bit_of[v]
+            for v in p._new:
+                new[p.pid] |= 1 << bit_of[v]
+        return cls(n, horizon, universe, uint64_column(known), uint64_column(new))
+
+    supports_refill = True
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        values = set(proposals)
+        if len(values) > 64 or not all(int64_fits(v) for v in values):
+            return False  # universe outgrew the mask: factory + reset instead
+        universe = sorted(values)
+        if universe != self.universe:
+            self.universe = universe
+            self.bit_of = {v: i for i, v in enumerate(universe)}
+            self._payloads.clear()
+        bit_of = self.bit_of
+        masks = [1 << bit_of[v] for v in proposals]
+        known = self.known
+        new = self.new
+        for pid, mask in enumerate(masks, start=1):
+            known[pid] = mask
+            new[pid] = mask
+        return True
+
+    def _payload(self, mask: int) -> frozenset[int]:
+        """The frozenset the object path would send for this ``new`` mask."""
+        cached = self._payloads.get(mask)
+        if cached is None:
+            universe = self.universe
+            values = []
+            m = mask
+            while m:
+                low = m & -m
+                values.append(universe[low.bit_length() - 1])
+                m ^= low
+            cached = self._payloads[mask] = frozenset(values)
+        return cached
+
+    def send_phase_vector(self, round_no: int, active: Sequence[int]) -> list[VectorSend]:
+        if round_no > self.horizon:
+            return []  # defensive, mirroring the object path
+        dests = self.dests
+        payload = self._payload
+        return [
+            (pid, dests[pid], payload(mask), ())
+            for pid, mask in zip(active, take(self.new, active))
+            if mask
+        ]
+
+    def compute_phase_vector(
+        self,
+        round_no: int,
+        receivers: set[int],
+        receiver_order: list[int],
+        sends: list[VectorSend],
+        crash_free: bool,
+    ) -> dict[int, Any]:
+        known = self.known
+        new = self.new
+        ro = receiver_order
+        if crash_free:
+            # Every receiver hears every speaker.  A receiver's own relay
+            # contributes only bits it already knows, so one global OR
+            # serves everyone: fresh = total & ~known.  The payloads were
+            # cut from the ``new`` column this very round, so the masks
+            # come straight back out of it — no frozenset re-encoding.
+            total = or_at(new, [s[0] for s in sends]) if sends else 0
+            if total:
+                self._or_in(total, ro)
+            else:
+                self._clear_new(ro)
+        else:
+            full = self.n - 1
+            masks = [
+                (s[0], s[1], len(s[1]) == full, int(new[s[0]])) for s in sends
+            ]
+            for pid in ro:
+                incoming = 0
+                for sender, dests, is_full, mask in masks:
+                    if sender == pid:
+                        continue
+                    if is_full or pid in dests:
+                        incoming |= mask
+                k = int(known[pid])
+                fresh = incoming & ~k
+                new[pid] = fresh
+                known[pid] = k | fresh
+        if round_no != self.horizon:
+            return {}
+        # Horizon: everyone decides min(W) — the lowest set bit.
+        universe = self.universe
+        return {
+            pid: universe[(k & -k).bit_length() - 1]
+            for pid, k in zip(ro, take(known, ro))
+        }
+
+    def _or_in(self, total: int, ro: list[int]) -> None:
+        """``fresh = total & ~known; known |= fresh; new = fresh`` columnwise."""
+        known = self.known
+        new = self.new
+        if HAVE_NUMPY and isinstance(known, np.ndarray):
+            t = np.uint64(total)
+            k = known[ro]
+            fresh = t & ~k
+            new[ro] = fresh
+            known[ro] = k | fresh
+            return
+        for pid in ro:
+            k = known[pid]
+            fresh = total & ~k & _MASK64
+            new[pid] = fresh
+            known[pid] = k | fresh
+
+    def _clear_new(self, ro: list[int]) -> None:
+        new = self.new
+        if HAVE_NUMPY and isinstance(new, np.ndarray):
+            new[ro] = 0
+            return
+        for pid in ro:
+            new[pid] = 0

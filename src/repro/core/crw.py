@@ -39,6 +39,7 @@ Properties (Theorems 1 and 2): uniform consensus, decision by round
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Any, Mapping, Sequence
 
 from repro.errors import ModelViolationError
@@ -49,11 +50,15 @@ from repro.sync.api import (
     RoundInbox,
     SendPlan,
     SyncProcess,
+    VectorAlgorithm,
+    VectorSend,
     register_batched_table,
+    register_vector_table,
 )
+from repro.util.columns import all_int64, int_column, put
 from repro.util.tables import refill_column
 
-__all__ = ["CRWConsensus", "CRWTable"]
+__all__ = ["CRWConsensus", "CRWTable", "CRWVectorTable"]
 
 #: Missing-payload sentinel for the table's single-lookup inbox reads.
 _MISS = object()
@@ -184,4 +189,103 @@ class CRWTable(BatchedAlgorithm):
                 raise ModelViolationError(
                     f"p{pid}: COMMIT from p{round_no} without its DATA in round {round_no}"
                 )
+        return decisions
+
+
+@register_vector_table(CRWConsensus)
+class CRWVectorTable(VectorAlgorithm):
+    """Array-columnar Figure-1 table: ``est`` as one int64 column.
+
+    Round ``r`` is a single coordinator send — one :data:`VectorSend`
+    with contiguous ``range`` destinations — and, crash-free, a closed
+    form: every receiver above the coordinator adopts and decides the
+    coordinator's value (one column write + one ``dict.fromkeys``).
+    Crash rounds fall back to set arithmetic over the truncated
+    destination subsets, still without per-pid plan or inbox objects.
+    Subclassed by the ablation variants' vector tables.
+    """
+
+    __slots__ = ("n", "est")
+
+    def __init__(self, n: int, est: Any) -> None:
+        self.n = n
+        self.est = est  # pid-indexed int64 column (slot 0 unused)
+
+    @classmethod
+    def from_processes(cls, processes: Sequence[SyncProcess]) -> "CRWVectorTable | None":
+        values = [p.est for p in processes]
+        if not all_int64(values):
+            return None  # non-int payloads: step list-batched instead
+        est = int_column([0] * (processes[0].n + 1))
+        for p in processes:
+            est[p.pid] = p.est
+        return cls(processes[0].n, est)
+
+    supports_refill = True
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        if not all_int64(proposals):
+            return False  # fall back to factory + reset (mode re-detected)
+        refill_column(self.est, proposals, offset=1)
+        return True
+
+    def send_phase_vector(self, round_no: int, active: Sequence[int]) -> list[VectorSend]:
+        if active and active[0] < round_no:
+            # Mirrors the per-process guard, raised for the same (lowest
+            # active) pid the per-process loop would have reached first.
+            raise ModelViolationError(
+                f"p{active[0]} reached round {round_no} > own id; "
+                "coordinators decide or crash at their own round (Figure 1: 'cannot happen')"
+            )
+        if not active or active[0] != round_no:
+            return []  # coordinator already crashed; everyone else is silent
+        data = range(round_no + 1, self.n + 1)
+        control = range(self.n, round_no, -1)
+        if not data:  # p_n's round: nobody above it to tell
+            return []
+        return [(round_no, data, int(self.est[round_no]), control)]
+
+    def compute_phase_vector(
+        self,
+        round_no: int,
+        receivers: set[int],
+        receiver_order: list[int],
+        sends: list[VectorSend],
+        crash_free: bool,
+    ) -> dict[int, Any]:
+        est = self.est
+        decisions: dict[int, Any] = {}
+        coord_alive = round_no in receivers
+        if not sends:
+            # Nothing escaped (dead coordinator, or p_n's empty round).
+            if coord_alive:
+                decisions[round_no] = int(est[round_no])  # line 6
+            return decisions
+        _sender, dests, value, control = sends[0]
+        if crash_free:
+            # Uniform round: every receiver above the coordinator got
+            # DATA + COMMIT -> adopts and decides (lines 7-8); the
+            # coordinator decides its own estimate (line 6).
+            if coord_alive:
+                decisions[round_no] = value
+            followers = receiver_order[bisect_right(receiver_order, round_no):]
+            put(est, followers, value)
+            decisions.update(dict.fromkeys(followers, value))
+            return decisions
+        # Crash round: intersect the (possibly truncated) destination
+        # subsets with the survivors.  Bounded by f rounds per run.
+        got_data = receivers.intersection(dests)
+        got_control = receivers.intersection(control)
+        orphaned = got_control - got_data
+        if orphaned:
+            pid = min(orphaned)
+            raise ModelViolationError(
+                f"p{pid}: COMMIT from p{round_no} without its DATA in round {round_no}"
+            )
+        if coord_alive:
+            decisions[round_no] = value
+        if got_data:
+            put(est, sorted(got_data), value)  # line 7 for every DATA receiver
+        for pid in sorted(got_control):  # line 8: locked -> decide
+            decisions[pid] = value
         return decisions

@@ -24,9 +24,10 @@ These exist to make the *limit* half of the paper executable:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Any, Mapping, Sequence
 
-from repro.core.crw import CRWConsensus, CRWTable
+from repro.core.crw import CRWConsensus, CRWTable, CRWVectorTable
 from repro.sync.api import (
     EMPTY_INBOX,
     NO_SEND,
@@ -34,8 +35,12 @@ from repro.sync.api import (
     RoundInbox,
     SendPlan,
     SyncProcess,
+    VectorAlgorithm,
+    VectorSend,
     register_batched_table,
+    register_vector_table,
 )
+from repro.util.columns import all_int64, int_column, put
 from repro.util.tables import refill_column
 
 __all__ = ["EagerCRW", "TruncatedCRW", "IncreasingCommitCRW", "FullBroadcastCRW", "SilentProcess"]
@@ -314,3 +319,177 @@ class _SilentTable(BatchedAlgorithm):
         self, round_no: int, inboxes: Mapping[int, RoundInbox]
     ) -> dict[int, Any]:
         return {}
+
+
+# ---------------------------------------------------------------------------
+# Vector tables (array-columnar stepping).  The CRW-shaped variants subclass
+# :class:`~repro.core.crw.CRWVectorTable` and override only their delta, like
+# the batched tables above; the vector parity grid pins all of them against
+# the per-process classes.  SilentProcess keeps no vector table (its batched
+# table is already O(1) per round).
+# ---------------------------------------------------------------------------
+
+
+@register_vector_table(EagerCRW)
+class _EagerCRWVectorTable(CRWVectorTable):
+    """CRW vector table minus the line-8 COMMIT guard."""
+
+    __slots__ = ()
+
+    def compute_phase_vector(
+        self,
+        round_no: int,
+        receivers: set[int],
+        receiver_order: list[int],
+        sends: list[VectorSend],
+        crash_free: bool,
+    ) -> dict[int, Any]:
+        if crash_free:
+            # Crash-free rounds are indistinguishable from the real
+            # algorithm: every DATA receiver also holds the COMMIT.
+            return super().compute_phase_vector(
+                round_no, receivers, receiver_order, sends, crash_free
+            )
+        est = self.est
+        decisions: dict[int, Any] = {}
+        if round_no in receivers:
+            decisions[round_no] = int(est[round_no])
+        if not sends:
+            return decisions
+        _sender, dests, value, _control = sends[0]
+        got_data = receivers.intersection(dests)
+        if got_data:
+            deciders = sorted(got_data)
+            put(est, deciders, value)
+            decisions.update(dict.fromkeys(deciders, value))  # eager: DATA alone
+        return decisions
+
+
+@register_vector_table(IncreasingCommitCRW)
+class _IncreasingCommitCRWVectorTable(CRWVectorTable):
+    """CRW vector table with the COMMIT sequence ascending instead."""
+
+    __slots__ = ()
+
+    def send_phase_vector(self, round_no: int, active: Sequence[int]) -> list[VectorSend]:
+        sends = super().send_phase_vector(round_no, active)
+        if sends:
+            sender, data, value, _control = sends[0]
+            sends[0] = (sender, data, value, range(round_no + 1, self.n + 1))
+        return sends
+
+
+@register_vector_table(FullBroadcastCRW)
+class _FullBroadcastCRWVectorTable(CRWVectorTable):
+    """CRW vector table with DATA and COMMIT addressed to every other pid.
+
+    Only the send differs: active pids below the coordinator cannot exist
+    (the inherited 'cannot happen' guard), so the extra low-id messages
+    change the accounting, never the computation — compute is inherited
+    (its destination intersections are shape-agnostic).
+    """
+
+    __slots__ = ()
+
+    def send_phase_vector(self, round_no: int, active: Sequence[int]) -> list[VectorSend]:
+        sends = super().send_phase_vector(round_no, active)
+        if not sends and active and active[0] == round_no == self.n:
+            # p_n's round: the base table goes silent (nobody above), the
+            # broadcast variant still addresses 1..n-1.
+            sends = [(round_no, None, int(self.est[round_no]), None)]
+        if sends:
+            sender = sends[0][0]
+            others = tuple(j for j in range(1, self.n + 1) if j != sender)
+            control = tuple(sorted(others, reverse=True))
+            sends[0] = (sender, others, sends[0][2], control)
+        return sends
+
+
+@register_vector_table(TruncatedCRW)
+class _TruncatedCRWVectorTable(VectorAlgorithm):
+    """Array-columnar TruncatedCRW: int64 ``est`` plus a uniform deadline.
+
+    Only uniform-``k`` tables vectorize (one scalar deadline instead of a
+    per-pid column keeps the whole-column round closed-form); mixed-``k``
+    process sets fall back to the list-batched table.
+    """
+
+    __slots__ = ("n", "est", "k")
+
+    def __init__(self, n: int, est: Any, k: int) -> None:
+        self.n = n
+        self.est = est  # pid-indexed int64 column (slot 0 unused)
+        self.k = k
+
+    @classmethod
+    def from_processes(
+        cls, processes: Sequence[SyncProcess]
+    ) -> "_TruncatedCRWVectorTable | None":
+        k = processes[0].k
+        if any(p.k != k for p in processes):
+            return None
+        values = [p.est for p in processes]
+        if not all_int64(values):
+            return None
+        est = int_column([0] * (processes[0].n + 1))
+        for p in processes:
+            est[p.pid] = p.est
+        return cls(processes[0].n, est, k)
+
+    supports_refill = True
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        if not all_int64(proposals):
+            return False
+        refill_column(self.est, proposals, offset=1)
+        return True
+
+    def send_phase_vector(self, round_no: int, active: Sequence[int]) -> list[VectorSend]:
+        # No 'cannot happen' guard: truncation lets processes outlive their
+        # own coordinator round (they just stay silent there).
+        pos = bisect_left(active, round_no)
+        if pos == len(active) or active[pos] != round_no:
+            return []
+        data = range(round_no + 1, self.n + 1)
+        if not data:
+            return []
+        return [(round_no, data, int(self.est[round_no]), range(self.n, round_no, -1))]
+
+    def compute_phase_vector(
+        self,
+        round_no: int,
+        receivers: set[int],
+        receiver_order: list[int],
+        sends: list[VectorSend],
+        crash_free: bool,
+    ) -> dict[int, Any]:
+        est = self.est
+        deadline = round_no >= self.k
+        decisions: dict[int, Any] = {}
+        if crash_free and sends:
+            _sender, _dests, value, _control = sends[0]
+            pos = bisect_right(receiver_order, round_no)
+            followers = receiver_order[pos:]
+            put(est, followers, value)
+            for pid in receiver_order[:pos]:  # at/below the coordinator
+                if pid == round_no or deadline:
+                    decisions[pid] = int(est[pid])
+            decisions.update(dict.fromkeys(followers, value))  # COMMIT held
+            return decisions
+        if not sends:
+            # Dead coordinator (or p_n's empty round): only the coordinator
+            # slot and the deadline can decide, on unchanged estimates.
+            for pid in receiver_order:
+                if pid == round_no or deadline:
+                    decisions[pid] = int(est[pid])
+            return decisions
+        # Crash round with a (possibly truncated) coordinator send.
+        _sender, dests, value, control = sends[0]
+        got_data = receivers.intersection(dests)
+        got_control = receivers.intersection(control)
+        if got_data:
+            put(est, sorted(got_data), value)
+        for pid in receiver_order:
+            if pid == round_no or pid in got_control or deadline:
+                decisions[pid] = int(est[pid])  # post-adoption estimate
+        return decisions

@@ -35,6 +35,7 @@ import math
 from multiprocessing import shared_memory
 
 from repro.scenarios.record import RecordBatch
+from repro.util.columns import np
 
 __all__ = ["ScalarSlab", "INT_COLUMNS", "DEPTH"]
 
@@ -59,7 +60,8 @@ CELL_BYTES = _N_INTS * 8 + 8
 class ScalarSlab:
     """A ``DEPTH``-slotted shared-memory buffer of per-cell scalars."""
 
-    __slots__ = ("shm", "capacity", "_owner", "_ints", "_floats")
+    __slots__ = ("shm", "capacity", "_owner", "_ints", "_floats",
+                 "_np_ints", "_np_floats")
 
     def __init__(self, shm: shared_memory.SharedMemory, capacity: int,
                  owner: bool) -> None:
@@ -67,15 +69,26 @@ class ScalarSlab:
         self.capacity = capacity
         self._owner = owner
         # One contiguous int64 region then one float64 region per slot,
-        # viewed once — per-shard writes index the casts directly.
+        # viewed once — per-shard writes index the casts directly.  With
+        # numpy available, a (capacity, N_INTS) view per slot turns each
+        # column transfer into one strided C-level copy.
         self._ints = []
         self._floats = []
+        self._np_ints = []
+        self._np_floats = []
         slot_bytes = capacity * CELL_BYTES
         for slot in range(DEPTH):
             off = slot * slot_bytes
             mid = off + capacity * _N_INTS * 8
-            self._ints.append(shm.buf[off:mid].cast("q"))
-            self._floats.append(shm.buf[mid:off + slot_bytes].cast("d"))
+            ibuf = shm.buf[off:mid]
+            fbuf = shm.buf[mid:off + slot_bytes]
+            self._ints.append(ibuf.cast("q"))
+            self._floats.append(fbuf.cast("d"))
+            if np is not None:
+                self._np_ints.append(
+                    np.frombuffer(ibuf, dtype=np.int64).reshape(capacity, _N_INTS)
+                )
+                self._np_floats.append(np.frombuffer(fbuf, dtype=np.float64))
 
     @property
     def name(self) -> str:
@@ -104,12 +117,30 @@ class ScalarSlab:
     # -- data path ---------------------------------------------------------
 
     def write(self, slot: int, batch: RecordBatch) -> None:
-        """Fill ``slot`` with the numeric columns of ``batch`` (worker side)."""
+        """Fill ``slot`` with the numeric columns of ``batch`` (worker side).
+
+        With numpy: one strided bulk assignment per column (the list →
+        int64 conversion happens in C).  The fallback loop writes the
+        same cell-major byte layout, so a slab written by either path
+        reads back identically from either path.
+        """
         count = len(batch)
         if count > self.capacity:
             raise ValueError(
                 f"batch of {count} cells exceeds slab capacity {self.capacity}"
             )
+        if self._np_ints:
+            cells = self._np_ints[slot][:count]
+            cells[:, 0] = batch.f_actual
+            cells[:, 1] = batch.rounds_executed
+            cells[:, 2] = batch.last_decision_round
+            cells[:, 3] = batch.messages_sent
+            cells[:, 4] = batch.bits_sent
+            cells[:, 5] = batch.spec_ok  # bools cast to 0/1
+            self._np_floats[slot][:count] = [
+                math.nan if t is None else t for t in batch.sim_time
+            ]
+            return
         ints = self._ints[slot]
         floats = self._floats[slot]
         base = 0
@@ -127,7 +158,26 @@ class ScalarSlab:
         # reads it until the parent has received that message.
 
     def read(self, slot: int, count: int) -> dict[str, list]:
-        """Decode ``count`` cells of ``slot`` back into column lists (parent)."""
+        """Decode ``count`` cells of ``slot`` back into column lists (parent).
+
+        Always plain Python lists out (``tolist`` on the numpy side):
+        the columns land directly in a :class:`RecordBatch`, whose
+        records carry built-in ints/bools/floats.
+        """
+        if self._np_ints:
+            cells = self._np_ints[slot][:count]
+            return {
+                "f_actual": cells[:, 0].tolist(),
+                "rounds_executed": cells[:, 1].tolist(),
+                "last_decision_round": cells[:, 2].tolist(),
+                "messages_sent": cells[:, 3].tolist(),
+                "bits_sent": cells[:, 4].tolist(),
+                "spec_ok": (cells[:, 5] != 0).tolist(),
+                "sim_time": [
+                    None if math.isnan(t) else t
+                    for t in self._np_floats[slot][:count].tolist()
+                ],
+            }
         ints = self._ints[slot]
         floats = self._floats[slot]
         out: dict[str, list] = {
@@ -156,10 +206,13 @@ class ScalarSlab:
 
     def close(self) -> None:
         """Drop this process's mapping (both sides)."""
-        # The memoryview casts pin the underlying buffer; release them
-        # before SharedMemory.close() or it raises BufferError.
+        # The memoryview casts and numpy frombuffer views pin the
+        # underlying buffer; release them before SharedMemory.close() or
+        # it raises BufferError.
         self._ints.clear()
         self._floats.clear()
+        self._np_ints.clear()
+        self._np_floats.clear()
         self.shm.close()
 
     def unlink(self) -> None:

@@ -47,12 +47,20 @@ Kernels (via the scenario layer):
 * ``service_p99_latency`` — an open-loop run through a leader-kill
   storm: rotation + fencing + retry/dedup on the hot path, asserting
   the exactly-once report stays clean;
+* ``vec_cascade_n128`` — the cascade scenario with ``batched="vector"``
+  pinned: PR 9's whole-column stepping kernel (numpy state columns when
+  numpy is importable, stdlib ``array`` otherwise — byte-identical
+  records either way, see ``tests/sync/test_vector_parity.py``);
 * ``sweep_*``         — ~1k-cell grid over the process-pool executor with
   JSONL persistence (``--quick`` shrinks it for CI);
 * ``shard_sweep_*``   — the same grids over the sharded work-stealing
   fabric (:mod:`repro.fabric`): manifest planning, shard workers with
   shared-memory scalar return, per-shard columnar files.  Gated like
-  the pool kernels (same-core-count hosts only).
+  the pool kernels (same-core-count hosts only);
+* ``vec_sweep_*``     — the full grid through the *serial* executor:
+  every cell steps through the auto-detected vector tables and the
+  engine lease, so this is the single-core ceiling of the vectorized
+  sweep data path (gated on any host, unlike the multiprocess sweeps).
 """
 
 from __future__ import annotations
@@ -128,6 +136,15 @@ def _kernel_cascade_n128() -> None:
 
     record = execute(Scenario(algorithm="crw", n=128, t=127, f=16,
                               adversary="coordinator-killer", seed=0))
+    assert record.last_decision_round == 17
+
+
+def _kernel_vec_cascade_n128() -> None:
+    from repro.scenarios import Scenario, execute
+
+    record = execute(Scenario(algorithm="crw", n=128, t=127, f=16,
+                              adversary="coordinator-killer", seed=0),
+                     batched="vector")
     assert record.last_decision_round == 17
 
 
@@ -241,6 +258,9 @@ def measure(quick: bool) -> dict:
     kernels = {
         "one_round_n64": _best_of(_kernel_one_round_n64, repeats=10, min_seconds=0.3),
         "cascade_n128": _best_of(_kernel_cascade_n128, repeats=10, min_seconds=0.5),
+        "vec_cascade_n128": _best_of(
+            _kernel_vec_cascade_n128, repeats=10, min_seconds=0.5
+        ),
         "async_mr99_n32": _best_of(_kernel_async_mr99_n32, repeats=5, min_seconds=0.5),
         "async_mr99_const_n32": _best_of(
             _kernel_async_mr99_const_n32, repeats=5, min_seconds=0.5
@@ -278,6 +298,9 @@ def measure(quick: bool) -> dict:
         )
         kernels[f"shard_sweep_{full_cells}c"] = _best_of(
             lambda: _kernel_sweep(False, "sharded"), repeats=2, min_seconds=1.0
+        )
+        kernels[f"vec_sweep_{full_cells}c"] = _best_of(
+            lambda: _kernel_sweep(False, "serial"), repeats=2, min_seconds=1.0
         )
     return {
         "schema": SCHEMA_VERSION,

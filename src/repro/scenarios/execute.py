@@ -65,7 +65,7 @@ class EngineLease:
         return len(self._engines)
 
     @staticmethod
-    def key_for(scenario: Scenario, trace: bool, batched: bool | None) -> tuple:
+    def key_for(scenario: Scenario, trace: bool, batched: bool | str | None) -> tuple:
         """The cache key: the full non-seed configuration, cheaply hashable.
 
         ``repr`` flattens the (JSON-typed, possibly nested) dict fields
@@ -189,15 +189,18 @@ def execute(
     scenario: Scenario,
     *,
     trace: bool = False,
-    batched: bool | None = None,
+    batched: bool | str | None = None,
     lease: EngineLease | None = None,
 ) -> RunRecord:
     """Run one scenario on its backend and return the normalized record.
 
-    ``batched`` is forwarded to the engines (None = auto: step through
-    the algorithm's columnar table when it registered one; ``False``
-    forces per-process/per-object stepping — the batched parity grids
-    compare the two).  The ``ffd`` backend ignores it.
+    ``batched`` is forwarded to the engines (None = auto: the fastest
+    eligible stepping mode — with tracing off, the synchronous engines
+    prefer a registered vector table, then the list-batched columnar
+    table, then per-process stepping.  ``"vector"`` requires the vector
+    table, ``True`` the list-batched one, and ``False`` forces
+    per-process/per-object stepping — the parity grids compare the
+    modes).  The ``ffd`` backend ignores it.
 
     ``lease`` opts into engine reuse: runs whose non-seed configuration
     matches a previous run through the same :class:`EngineLease` reset
@@ -246,7 +249,7 @@ def _execute_sync(
     proposals: list[Any],
     rng: RandomSource,
     trace: bool,
-    batched: bool | None = None,
+    batched: bool | str | None = None,
     lease: EngineLease | None = None,
 ) -> RunRecord:
     from repro.sync.engine import ClassicSynchronousEngine
@@ -337,6 +340,11 @@ def _execute_async(
     from repro.asyncsim.failure_detector import DetectorSpec
     from repro.asyncsim.runner import AsyncCrash, AsyncRunner
 
+    if batched == "vector":
+        raise ConfigurationError(
+            f'batched="vector" is synchronous-only; algorithm '
+            f"{scenario.algorithm!r} runs on the async backend"
+        )
     timing = dict(scenario.timing)
     _check_timing_keys(timing, "async")
     crashes = [

@@ -38,6 +38,10 @@ __all__ = [
     "register_batched_table",
     "batched_table_for",
     "batched_table_refillable",
+    "VectorSend",
+    "VectorAlgorithm",
+    "register_vector_table",
+    "vector_table_for",
 ]
 
 
@@ -327,6 +331,147 @@ def batched_table_for(processes: Sequence[SyncProcess]) -> BatchedAlgorithm | No
         return None
     cls = type(processes[0])
     factory = _BATCHED_TABLES.get(cls)
+    if factory is None:
+        return None
+    if any(type(p) is not cls for p in processes):
+        return None
+    return factory(processes)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized stepping: array-column hooks, no plans, no inboxes.
+# ---------------------------------------------------------------------------
+
+#: One speaker's outgoing traffic for one round, as a plain tuple
+#: ``(sender, data_dests, payload, control_dests)``:
+#:
+#: * ``data_dests`` — the planned data destinations.  A ``range`` (the
+#:   coordinator patterns), the table's precomputed all-others tuple, or —
+#:   after crash truncation — the resolved ``frozenset`` subset.  **Every
+#:   destination carries the same ``payload``** (uniform-payload contract;
+#:   all first-party sync algorithms broadcast one value per round), and a
+#:   tuple of length ``n - 1`` is by contract the all-others broadcast.
+#: * ``payload`` — the exact value the per-process ``send_phase`` would
+#:   have put in the plan (Python-native types: the bit-accounting memo
+#:   and JSON serialization are type-sensitive).
+#: * ``control_dests`` — ordered control destinations, ``range`` or tuple
+#:   (sliceable: a crash delivers ``control_dests[:prefix]``).
+#:
+#: Tuples, not a dataclass: the engine builds/consumes one per speaker per
+#: round on the benchmark-critical path.
+VectorSend = tuple  # (sender, data_dests, payload, control_dests)
+
+
+class VectorAlgorithm(abc.ABC):
+    """Array-columnar drop-in for a whole table of same-typed processes.
+
+    The third stepping mode, above :class:`BatchedAlgorithm`: where the
+    list-batched table still produces one :class:`SendPlan` and consumes
+    one :class:`RoundInbox` per process per round, a vector table
+    describes a round's traffic as a sparse list of :data:`VectorSend`
+    tuples (speakers only) and computes the round over typed array
+    columns (:mod:`repro.util.columns`) — whole-column compare/reduce
+    instead of per-pid loops.  The engine never materializes plans or
+    inboxes in this mode; it resolves crashes and charges accounting
+    straight off the send tuples.
+
+    Contract (byte-parity with the other modes depends on all of it):
+
+    * :meth:`from_processes` may return None when the processes' state is
+      not vectorizable (non-int64 values, heterogeneous configuration);
+      the engine then falls back to list-batched/per-process stepping.
+    * :meth:`send_phase_vector` returns sends for **speakers only**, in
+      ascending pid order, mirroring what the per-process ``send_phase``
+      loop would have produced (including raising the same model
+      violations).  Silent processes simply do not appear.
+    * :meth:`compute_phase_vector` receives the post-truncation sends and
+      the surviving receivers and returns the round's new decisions
+      ``{pid: value}`` **in ascending pid order** with Python-native
+      values — the engine's ledgers (and ultimately the record JSON)
+      inherit dict insertion order.
+    * ``crash_free=True`` guarantees every send was delivered in full to
+      every receiver (no crash resolved this round), unlocking the
+      uniform whole-column math; ``crash_free=False`` rounds take the
+      table's per-receiver fallback over the truncated sends.
+
+    Vector tables are first-party mirrors of their process classes (the
+    vector parity grid runs the validated object path against them), so
+    the engine does not re-validate their sends — same trust model as
+    the list-batched tables.
+    """
+
+    @classmethod
+    @abc.abstractmethod
+    def from_processes(
+        cls, processes: Sequence[SyncProcess]
+    ) -> "VectorAlgorithm | None":
+        """Build the array-columnar table, or None when not vectorizable."""
+
+    @abc.abstractmethod
+    def send_phase_vector(
+        self, round_no: int, active: Sequence[int]
+    ) -> list[VectorSend]:
+        """This round's sends, speakers only, ascending pid order."""
+
+    @abc.abstractmethod
+    def compute_phase_vector(
+        self,
+        round_no: int,
+        receivers: set[int],
+        receiver_order: list[int],
+        sends: list[VectorSend],
+        crash_free: bool,
+    ) -> dict[int, Any]:
+        """Consume the round's (post-truncation) sends; return decisions."""
+
+    #: Same refill capability advertisement as :class:`BatchedAlgorithm`.
+    supports_refill: bool = False
+
+    def refill(self, proposals: Sequence[Any]) -> bool:
+        """Rewrite the array columns in place for a fresh run.
+
+        May return False when the new proposals are not vectorizable
+        (e.g. they stopped being int64s, or a FloodSet universe outgrew
+        its bitmask) — the engine then declines the refill and the caller
+        falls back to the factory + reset path, which re-detects the
+        stepping mode.
+        """
+        return False
+
+
+#: Exact process type -> vector table factory (same exact-type discipline
+#: as the list-batched registry).
+_VECTOR_TABLES: dict[type, Callable[[Sequence[SyncProcess]], "VectorAlgorithm | None"]] = {}
+
+
+def register_vector_table(
+    process_cls: type,
+) -> Callable[[type["VectorAlgorithm"]], type["VectorAlgorithm"]]:
+    """Class decorator: register a vector table for ``process_cls``."""
+
+    def deco(table_cls: type[VectorAlgorithm]) -> type[VectorAlgorithm]:
+        if process_cls in _VECTOR_TABLES:
+            raise ConfigurationError(
+                f"{process_cls.__name__} already has a vector table"
+            )
+        _VECTOR_TABLES[process_cls] = table_cls.from_processes
+        return table_cls
+
+    return deco
+
+
+def vector_table_for(processes: Sequence[SyncProcess]) -> "VectorAlgorithm | None":
+    """The vector table for ``processes``, or None when unavailable.
+
+    None covers three distinct cases that all mean "step another way":
+    no registration for the (exact) process type, a mixed table, or a
+    registered factory declining the processes' current state
+    (:meth:`VectorAlgorithm.from_processes` returning None).
+    """
+    if not processes:
+        return None
+    cls = type(processes[0])
+    factory = _VECTOR_TABLES.get(cls)
     if factory is None:
         return None
     if any(type(p) is not cls for p in processes):

@@ -49,10 +49,22 @@ per-process state in parallel lists.  Crash resolution, delivery, and
 inbox construction are shared verbatim between the modes, and decisions
 are mirrored back onto the process objects, so batched and per-process
 runs are byte-identical (``tests/sync/test_batched_parity.py``).
+
+PR 9 adds a third hook mode on top: **vector** stepping through a
+registered :class:`~repro.sync.api.VectorAlgorithm` table.  Per-process
+state lives in array columns (numpy when installed, :mod:`array`
+fallback), the send phase emits a sparse list of
+:data:`~repro.sync.api.VectorSend` shapes instead of per-pid plan dicts,
+and delivery/inboxes are skipped entirely — accounting is computed
+straight off the send shapes and computation runs whole-column.  Only
+available with tracing off; auto-detected by ``batched=None`` and forced
+with ``batched="vector"``.  Decisions, stats, and results are
+byte-identical to the other modes (``tests/sync/test_vector_parity.py``).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -67,7 +79,9 @@ from repro.sync.api import (
     RoundInbox,
     SendPlan,
     SyncProcess,
+    VectorAlgorithm,
     batched_table_for,
+    vector_table_for,
 )
 from repro.sync.crash import CrashEvent, CrashPoint, CrashSchedule, ResolvedCrash
 from repro.sync.result import ProcessOutcome, RunResult
@@ -121,6 +135,7 @@ def execute_round(
     pids: frozenset[int] | None = None,
     active_order: list[int] | None = None,
     table: BatchedAlgorithm | None = None,
+    vtable: VectorAlgorithm | None = None,
 ) -> RoundOutcome:
     """Execute one round over ``active`` processes; mutates process state.
 
@@ -141,9 +156,24 @@ def execute_round(
     new decisions mirrored back onto the process objects.  Crash
     resolution, delivery, and inbox construction are identical in both
     modes.
+
+    ``vtable`` (mutually exclusive with ``table``; requires tracing off)
+    switches the *whole round* to vectorized stepping: sparse
+    :data:`~repro.sync.api.VectorSend` tuples instead of plans, bulk
+    accounting straight off the send shapes instead of delivery, and
+    array-columnar computation instead of inboxes.  The returned
+    outcome's ``plans``/``inboxes`` are empty in this mode (nothing was
+    materialized); decisions, resolved crashes, stats totals, and all
+    process-visible state are byte-identical to the other modes (pinned
+    by ``tests/sync/test_vector_parity.py``).
     """
     if n is None:
         n = next(iter(procs.values())).n if procs else 0
+    if vtable is not None:
+        return _execute_round_vector(
+            procs, active, round_no, crash_events,
+            stats=stats, rng=rng, n=n, active_order=active_order, vtable=vtable,
+        )
     traced = trace.enabled
 
     # Phase 1: collect send plans from every active process.  Senders with
@@ -417,6 +447,162 @@ def _deliver_fast(
             stats.bulk_control(len(control_dests), delivered)
 
 
+# ---------------------------------------------------------------------------
+# Vectorized round path (no plans, no delivery, no inboxes).
+# ---------------------------------------------------------------------------
+
+
+def _delivered_count(
+    sender: int,
+    dests: Any,
+    receivers: set[int],
+    receiver_order: list[int],
+    n_minus_1: int,
+) -> int:
+    """``|dests ∩ receivers|`` without iterating the destinations.
+
+    Exploits the shapes first-party vector tables emit: a ``range``
+    (contiguous coordinator pattern — two bisects over the sorted
+    receivers), the all-others broadcast tuple of length ``n - 1`` (one
+    membership test), or — the rare truncated-crash case — an arbitrary
+    small collection (generic membership loop).
+    """
+    tp = type(dests)
+    if tp is range:
+        if dests.step == 1:
+            lo, hi = dests.start, dests.stop
+        else:  # step == -1 (the descending COMMIT pattern)
+            lo, hi = dests.stop + 1, dests.start + 1
+        return bisect_left(receiver_order, hi) - bisect_left(receiver_order, lo)
+    if tp is tuple and len(dests) == n_minus_1:
+        return len(receivers) - (1 if sender in receivers else 0)
+    return sum(d in receivers for d in dests)
+
+
+def _account_vector(
+    sends: list,
+    receivers: set[int],
+    receiver_order: list[int],
+    n: int,
+    stats: MessageStats,
+) -> None:
+    """Charge a vector round's traffic in aggregate.
+
+    Totals are identical to routing the same round through
+    :func:`_deliver_fast` — per-payload bit sizing (memoized), sent
+    counts over the post-truncation destinations, delivered counts over
+    the surviving receivers — just summed across senders before the
+    (single) bulk calls.
+    """
+    data_sent = data_bits = data_del = data_del_bits = 0
+    ctrl_sent = ctrl_del = 0
+    n_minus_1 = n - 1
+    for sender, dests, payload, control in sends:
+        if dests:
+            count = len(dests)
+            bits = bit_size(payload)
+            data_sent += count
+            data_bits += bits * count
+            d = _delivered_count(sender, dests, receivers, receiver_order, n_minus_1)
+            if d:
+                data_del += d
+                data_del_bits += bits * d
+        if control:
+            ctrl_sent += len(control)
+            ctrl_del += _delivered_count(
+                sender, control, receivers, receiver_order, n_minus_1
+            )
+    if data_sent:
+        stats.bulk_data(data_sent, data_bits)
+    if data_del:
+        stats.bulk_data(data_del, data_del_bits, delivered=True)
+    if ctrl_sent:
+        stats.bulk_control(ctrl_sent, ctrl_del)
+
+
+def _execute_round_vector(
+    procs: Mapping[int, SyncProcess],
+    active: set[int],
+    round_no: int,
+    crash_events: Mapping[int, CrashEvent],
+    *,
+    stats: MessageStats,
+    rng: RandomSource | None,
+    n: int,
+    active_order: list[int] | None,
+    vtable: VectorAlgorithm,
+) -> RoundOutcome:
+    """One round through a :class:`~repro.sync.api.VectorAlgorithm` table.
+
+    Same four phases as :func:`execute_round`, reshaped around the sparse
+    send list: crashes resolve against each crashing sender's send tuple
+    (same rng draws — resolution only observes the destination *set* and
+    the control length), truncation rewrites the affected tuples in
+    place of delivery, and accounting/computation run off the shapes.
+    Only ever called with tracing off (engines enforce it).
+    """
+    if active_order is None:
+        active_order = sorted(active)
+    sends = vtable.send_phase_vector(round_no, active_order)
+
+    resolved: dict[int, ResolvedCrash] = {}
+    if crash_events:
+        send_by_pid = {s[0]: s for s in sends}
+        for pid, event in crash_events.items():
+            if pid not in active:
+                continue
+            s = send_by_pid.get(pid)
+            if s is None:
+                resolved[pid] = event.resolve((), (), rng)
+            else:
+                resolved[pid] = event.resolve(s[1], s[3], rng)
+
+    if resolved:
+        crashing = set(resolved)
+        if len(crashing) == 1:
+            receiver_order = active_order.copy()
+            receiver_order.remove(next(iter(crashing)))
+        else:
+            receiver_order = [pid for pid in active_order if pid not in crashing]
+        receivers = active - crashing
+        if sends:
+            truncated = []
+            for s in sends:
+                rc = resolved.get(s[0])
+                if rc is None:
+                    truncated.append(s)
+                else:
+                    control = s[3][: rc.control_prefix]
+                    if rc.data_subset or control:
+                        truncated.append((s[0], rc.data_subset, s[2], control))
+            sends = truncated
+    else:
+        crashing = None
+        receiver_order = active_order
+        receivers = active
+
+    if sends:
+        _account_vector(sends, receivers, receiver_order, n, stats)
+
+    new_decisions = vtable.compute_phase_vector(
+        round_no, receivers, receiver_order, sends, crashing is None
+    )
+    # Same direct slot mirroring as batched stepping (tracing is off here
+    # by construction, so no decide events to record).
+    for pid, value in new_decisions.items():
+        proc = procs[pid]
+        proc._decided = True
+        proc._decision = value
+
+    return RoundOutcome(
+        round_no=round_no,
+        plans={},
+        resolved_crashes=resolved,
+        inboxes={},
+        new_decisions=new_decisions,
+    )
+
+
 class SynchronousEngine:
     """Extended-model engine: two-step send phase with ordered control step.
 
@@ -433,13 +619,17 @@ class SynchronousEngine:
     trace:
         Set ``False`` to disable event recording (large sweeps).
     batched:
-        ``None`` (default) auto-detects: when every process is of one
-        type with a registered :class:`~repro.sync.api.BatchedAlgorithm`
-        table, rounds step through the columnar table (two hook calls per
-        round instead of two per process).  ``False`` forces per-process
-        stepping (the parity grid compares the two); ``True`` requires a
-        table and raises when none is registered.  While stepping
-        batched, the table is the authoritative copy of algorithm state —
+        ``None`` (default) auto-detects the fastest eligible stepping
+        mode: with tracing off, a registered
+        :class:`~repro.sync.api.VectorAlgorithm` table (array-columnar
+        state, sparse sends, bulk accounting) wins; otherwise a
+        registered :class:`~repro.sync.api.BatchedAlgorithm` table
+        (list-columnar, two hook calls per round); otherwise per-process
+        stepping.  ``"vector"`` requires the vector table (and tracing
+        off) and raises when unavailable; ``True`` requires the
+        list-batched table; ``False`` forces per-process stepping (the
+        parity grids compare the modes).  While stepping through either
+        table, the table is the authoritative copy of algorithm state —
         decisions are mirrored back to the process objects, other
         per-process attributes are not.
     """
@@ -455,7 +645,7 @@ class SynchronousEngine:
         t: int | None = None,
         rng: RandomSource | None = None,
         trace: bool = True,
-        batched: bool | None = None,
+        batched: bool | str | None = None,
     ) -> None:
         if not processes:
             raise ConfigurationError("no processes given")
@@ -474,7 +664,7 @@ class SynchronousEngine:
         *,
         rng: RandomSource | None,
         trace: bool,
-        batched: bool | None,
+        batched: bool | str | None,
     ) -> None:
         """Per-run wiring shared by construction and :meth:`reset`."""
         n = self.n
@@ -500,9 +690,32 @@ class SynchronousEngine:
         self.procs = procs
         self._proposals = proposals
         self._table: BatchedAlgorithm | None = None
-        if batched is None or batched:
+        self._vtable: VectorAlgorithm | None = None
+        if batched == "vector":
+            if trace:
+                raise ConfigurationError(
+                    'batched="vector" requires tracing off: the vector path '
+                    "materializes no per-message events to record"
+                )
+            self._vtable = vector_table_for(processes)
+            if self._vtable is None:
+                raise ConfigurationError(
+                    f'batched="vector" but {type(processes[0]).__name__} has '
+                    f"no registered vector table (or this workload is "
+                    f"ineligible for columnar state)"
+                )
+        elif batched is None:
+            # Auto-detect, fastest eligible mode first.  The vector path
+            # needs tracing off; ineligible workloads (vector factory
+            # returns None) degrade to the list-batched table, then to
+            # per-process stepping.
+            if not trace:
+                self._vtable = vector_table_for(processes)
+            if self._vtable is None:
+                self._table = batched_table_for(processes)
+        elif batched:
             self._table = batched_table_for(processes)
-            if batched and self._table is None:
+            if self._table is None:
                 raise ConfigurationError(
                     f"batched=True but {type(processes[0]).__name__} has no "
                     f"registered batched table"
@@ -553,7 +766,7 @@ class SynchronousEngine:
         *,
         rng: RandomSource | None = None,
         trace: bool = False,
-        batched: bool | None = None,
+        batched: bool | str | None = None,
     ) -> "SynchronousEngine":
         """Rewire for a fresh run over ``processes``; return ``self``.
 
@@ -607,7 +820,7 @@ class SynchronousEngine:
         run's values.  Refilled runs are byte-identical to fresh ones
         (pinned by ``tests/scenarios/test_columnar_parity.py``).
         """
-        table = self._table
+        table = self._vtable if self._vtable is not None else self._table
         if table is None or not table.supports_refill:
             return False
         if len(proposals) != self.n:
@@ -669,6 +882,7 @@ class SynchronousEngine:
             pids=self._pids,
             active_order=self._active_order,
             table=self._table,
+            vtable=self._vtable,
         )
         for pid in outcome.resolved_crashes:
             self._crashed_round[pid] = self._round

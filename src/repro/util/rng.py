@@ -160,3 +160,31 @@ class RandomSource:
         if not 0.0 <= p_true <= 1.0:
             raise ConfigurationError(f"probability must be in [0,1], got {p_true}")
         return self._rng.random() < p_true
+
+    # -- bulk draws --------------------------------------------------------
+
+    def randints(self, k: int, lo: int, hi: int) -> list[int]:
+        """``k`` uniform integers in ``[lo, hi]`` — one call per vector.
+
+        Stream-identical to ``k`` :meth:`randint` calls (same underlying
+        draws, same order), so replacing a per-element loop with one bulk
+        call never perturbs a seeded run.  The saving is the wrapper
+        frame and argument validation per element — workload generators
+        draw one value per process per cell, which a seed-dense sweep
+        multiplies by millions.
+        """
+        if k < 0:
+            raise ConfigurationError(f"draw count must be >= 0, got {k}")
+        if lo > hi:
+            raise ConfigurationError(f"empty integer range [{lo}, {hi}]")
+        draw = self._rng.randint
+        return [draw(lo, hi) for _ in range(k)]
+
+    def bools(self, k: int, p_true: float = 0.5) -> list[bool]:
+        """``k`` Bernoulli draws; stream-identical to ``k`` :meth:`bool` calls."""
+        if k < 0:
+            raise ConfigurationError(f"draw count must be >= 0, got {k}")
+        if not 0.0 <= p_true <= 1.0:
+            raise ConfigurationError(f"probability must be in [0,1], got {p_true}")
+        draw = self._rng.random
+        return [draw() < p_true for _ in range(k)]

@@ -80,3 +80,55 @@ class TestRoundTrip:
 
 def test_depth_is_at_least_two_for_pipelining():
     assert DEPTH >= 2
+
+
+@pytest.mark.skipif(
+    not __import__("repro.util.columns", fromlist=["HAVE_NUMPY"]).HAVE_NUMPY,
+    reason="numpy not importable",
+)
+class TestNumpyLoopLayoutParity:
+    """The numpy bulk path and the loop fallback share one byte layout.
+
+    A slab written by a numpy worker must read back identically through
+    a no-numpy parent (and vice versa) — pinned here by flipping one
+    side of the round-trip onto the loop implementation.
+    """
+
+    @pytest.fixture
+    def batch(self):
+        times = [None, 1.5, None, 2.25]
+        return RecordBatch.from_records(
+            [_record(i, t) for i, t in enumerate(times)]
+        )
+
+    def _force_loop(self, slab):
+        views = slab._np_ints, slab._np_floats
+        slab._np_ints, slab._np_floats = [], []
+        return views
+
+    def test_numpy_write_loop_read(self, slab, batch):
+        assert slab._np_ints  # numpy path active
+        slab.write(0, batch)
+        views = self._force_loop(slab)
+        try:
+            out = slab.read(0, len(batch))
+        finally:
+            slab._np_ints, slab._np_floats = views
+        for name in INT_COLUMNS[:-1]:
+            assert out[name] == getattr(batch, name), name
+        assert out["spec_ok"] == batch.spec_ok
+        assert out["sim_time"] == batch.sim_time
+
+    def test_loop_write_numpy_read(self, slab, batch):
+        views = self._force_loop(slab)
+        try:
+            slab.write(1, batch)
+        finally:
+            slab._np_ints, slab._np_floats = views
+        out = slab.read(1, len(batch))
+        for name in INT_COLUMNS[:-1]:
+            assert out[name] == getattr(batch, name), name
+        assert out["spec_ok"] == batch.spec_ok
+        assert out["sim_time"] == batch.sim_time
+        assert all(type(v) is int for v in out["messages_sent"])
+        assert all(type(v) is bool for v in out["spec_ok"])

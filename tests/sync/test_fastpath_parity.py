@@ -87,8 +87,11 @@ def test_inboxes_identical_between_paths():
             6, 5, rng.spawn("adversary")
         )
         procs = ALGORITHMS.get("crw").factory(6, 5, list(range(6)), {})
+        # batched=False: this test compares materialized inboxes, which
+        # the auto-detected vector mode (trace off) never builds.
         engine = ExtendedSynchronousEngine(
-            procs, schedule, t=5, rng=rng.spawn("engine"), trace=trace
+            procs, schedule, t=5, rng=rng.spawn("engine"), trace=trace,
+            batched=False,
         )
         outcomes = []
         while engine.active_pids:
